@@ -1,0 +1,40 @@
+// Ablation: the max≺/min≺ tie-break. The paper picks, inside fP(u,v), the
+// node whose direct link has the best QoS (id as final tie-break); the
+// ablation picks the smallest id only. Measures what the QoS-aware pick
+// buys in set size and route quality.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fnbp.hpp"
+#include "eval/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qolsr;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  Scenario scenario;
+  scenario.densities = bandwidth_densities();
+  scenario.runs = args.config.runs;
+  scenario.seed = args.config.seed;
+
+  const FnbpSelector<BandwidthMetric> qos_pick;
+  FnbpOptions options;
+  options.qos_tiebreak = false;
+  const FnbpSelector<BandwidthMetric> id_pick(options);
+  const auto sweep =
+      run_sweep<BandwidthMetric>(scenario, {&qos_pick, &id_pick});
+
+  util::Table table({"density", "size_qos", "size_id", "ovh_qos", "ovh_id"});
+  for (const DensityStats& d : sweep) {
+    const ProtocolStats& a = d.protocols[0];
+    const ProtocolStats& b = d.protocols[1];
+    table.add_row({util::format_double(d.density, 0),
+                   util::format_double(a.set_size.mean(), 3),
+                   util::format_double(b.set_size.mean(), 3),
+                   util::format_double(a.overhead.mean(), 4),
+                   util::format_double(b.overhead.mean(), 4)});
+  }
+  bench::emit(args, "Ablation — max-prec QoS tie-break vs smallest-id",
+              table);
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace qolsr::bench {
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  if (const char* env = std::getenv("QOLSR_BENCH_RUNS"))
+    args.config.runs = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--runs=", 7) == 0) {
+      args.config.runs =
+          static_cast<std::size_t>(std::strtoull(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::cout << "usage: [--runs=N] [--seed=S] [--csv]\n";
+      std::exit(0);
+    }
+  }
+  if (args.config.runs == 0) args.config.runs = 1;
+  return args;
+}
+
+void emit(const BenchArgs& args, const char* title,
+          const util::Table& table) {
+  std::cout << "# " << title << "\n"
+            << "# runs/density=" << args.config.runs
+            << " seed=" << args.config.seed << "\n"
+            << table.to_string();
+  if (args.csv) std::cout << "\n" << table.to_csv();
+  std::cout.flush();
+}
+
+}  // namespace qolsr::bench

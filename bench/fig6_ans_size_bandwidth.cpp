@@ -1,0 +1,17 @@
+// Reproduces Fig. 6: size of the set advertised in TC messages vs. network
+// density, bandwidth metric. Series: original QOLSR (MPR-2), topology
+// filtering, FNBP. Expected shape: FNBP smallest and ~flat; QOLSR largest
+// and growing.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qolsr;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const auto sweep = bandwidth_sweep(args.config);
+  bench::emit(args, "Fig. 6 — advertised set size vs density (bandwidth)",
+              set_size_table(sweep));
+  std::cout << "\n# diagnostics\n" << diagnostics_table(sweep).to_string();
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Fig. 7: size of the advertised set vs. density, delay metric.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qolsr;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const auto sweep = delay_sweep(args.config);
+  bench::emit(args, "Fig. 7 — advertised set size vs density (delay)",
+              set_size_table(sweep));
+  std::cout << "\n# diagnostics\n" << diagnostics_table(sweep).to_string();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Fig. 8: bandwidth overhead (b*−b)/b* vs. density, against the
+// centralized widest-path optimum. Expected shape: QOLSR clearly worst;
+// FNBP ≈ topology filtering, small (<2% at high density) and decreasing.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qolsr;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const auto sweep = bandwidth_sweep(args.config);
+  bench::emit(args, "Fig. 8 — bandwidth overhead vs density",
+              overhead_table(sweep));
+  std::cout << "\n# diagnostics\n" << diagnostics_table(sweep).to_string();
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 9: delay overhead (d−d*)/d* vs. density, against the
+// centralized min-delay optimum.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qolsr;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const auto sweep = delay_sweep(args.config);
+  bench::emit(args, "Fig. 9 — delay overhead vs density",
+              overhead_table(sweep));
+  std::cout << "\n# diagnostics\n" << diagnostics_table(sweep).to_string();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Microbenchmarks of the path engine: generic Dijkstra (both metric
+// families) and the per-node fP computation on 2-hop views.
+#include <benchmark/benchmark.h>
+
+#include "graph/deployment.hpp"
+#include "path/dijkstra.hpp"
+#include "path/first_hops.hpp"
+
+namespace {
+
+using namespace qolsr;
+
+Graph make_network(double degree, std::uint64_t seed = 17) {
+  util::Rng rng(seed);
+  DeploymentConfig config;
+  config.degree = degree;
+  Graph g = sample_poisson_deployment(config, rng);
+  assign_uniform_qos(g, {}, rng);
+  return g;
+}
+
+void BM_DijkstraWidestFullGraph(benchmark::State& state) {
+  const Graph g = make_network(static_cast<double>(state.range(0)));
+  NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra<BandwidthMetric>(g, source));
+    source = (source + 1) % static_cast<NodeId>(g.node_count());
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+}
+
+void BM_DijkstraDelayFullGraph(benchmark::State& state) {
+  const Graph g = make_network(static_cast<double>(state.range(0)));
+  NodeId source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra<DelayMetric>(g, source));
+    source = (source + 1) % static_cast<NodeId>(g.node_count());
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+}
+
+void BM_FirstHopsPerNode(benchmark::State& state) {
+  const Graph g = make_network(static_cast<double>(state.range(0)));
+  std::vector<LocalView> views;
+  for (NodeId u = 0; u < g.node_count(); ++u) views.emplace_back(g, u);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_first_hops<BandwidthMetric>(views[i]));
+    i = (i + 1) % views.size();
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DijkstraWidestFullGraph)->Arg(10)->Arg(20)->Arg(35);
+BENCHMARK(BM_DijkstraDelayFullGraph)->Arg(10)->Arg(20)->Arg(35);
+BENCHMARK(BM_FirstHopsPerNode)->Arg(10)->Arg(20)->Arg(35);

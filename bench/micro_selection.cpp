@@ -1,0 +1,87 @@
+// Microbenchmarks: per-node CPU cost of each selection heuristic as the
+// network densifies (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/fnbp.hpp"
+#include "graph/deployment.hpp"
+#include "olsr/mpr.hpp"
+#include "olsr/qolsr_mpr.hpp"
+#include "olsr/topology_filtering.hpp"
+
+namespace {
+
+using namespace qolsr;
+
+Graph make_network(double degree, std::uint64_t seed = 9) {
+  util::Rng rng(seed);
+  DeploymentConfig config;
+  config.width = 600.0;
+  config.height = 600.0;
+  config.degree = degree;
+  Graph g = sample_poisson_deployment(config, rng);
+  assign_uniform_qos(g, {}, rng);
+  return g;
+}
+
+/// Runs `select` on every node's view, counting nodes/sec.
+template <typename SelectFn>
+void run_selection_bench(benchmark::State& state, SelectFn&& select) {
+  const Graph g = make_network(static_cast<double>(state.range(0)));
+  std::vector<LocalView> views;
+  views.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) views.emplace_back(g, u);
+  for (auto _ : state) {
+    for (const LocalView& view : views)
+      benchmark::DoNotOptimize(select(view));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(views.size()));
+}
+
+void BM_SelectRfc3626Mpr(benchmark::State& state) {
+  run_selection_bench(state,
+                      [](const LocalView& v) { return select_mpr_rfc3626(v); });
+}
+
+void BM_SelectQolsrMpr2(benchmark::State& state) {
+  run_selection_bench(state, [](const LocalView& v) {
+    return select_qolsr_mpr<BandwidthMetric>(v, QolsrVariant::kMpr2);
+  });
+}
+
+void BM_SelectTopologyFiltering(benchmark::State& state) {
+  run_selection_bench(state, [](const LocalView& v) {
+    return select_topology_filtering_ans<BandwidthMetric>(v);
+  });
+}
+
+void BM_SelectFnbp(benchmark::State& state) {
+  run_selection_bench(state, [](const LocalView& v) {
+    return select_fnbp_ans<BandwidthMetric>(v);
+  });
+}
+
+void BM_SelectFnbpDelay(benchmark::State& state) {
+  run_selection_bench(state, [](const LocalView& v) {
+    return select_fnbp_ans<DelayMetric>(v);
+  });
+}
+
+void BM_BuildLocalView(benchmark::State& state) {
+  const Graph g = make_network(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    for (NodeId u = 0; u < g.node_count(); ++u)
+      benchmark::DoNotOptimize(LocalView(g, u));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.node_count()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SelectRfc3626Mpr)->Arg(10)->Arg(20)->Arg(30);
+BENCHMARK(BM_SelectQolsrMpr2)->Arg(10)->Arg(20)->Arg(30);
+BENCHMARK(BM_SelectTopologyFiltering)->Arg(10)->Arg(20)->Arg(30);
+BENCHMARK(BM_SelectFnbp)->Arg(10)->Arg(20)->Arg(30);
+BENCHMARK(BM_SelectFnbpDelay)->Arg(10)->Arg(20)->Arg(30);
+BENCHMARK(BM_BuildLocalView)->Arg(10)->Arg(20)->Arg(30);

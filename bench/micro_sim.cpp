@@ -1,0 +1,56 @@
+// Microbenchmarks of the discrete-event control plane: events/sec and the
+// cost of converging a whole network.
+#include <benchmark/benchmark.h>
+
+#include "core/fnbp.hpp"
+#include "graph/deployment.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace qolsr;
+
+Graph make_network(double degree, std::uint64_t seed = 23) {
+  util::Rng rng(seed);
+  DeploymentConfig config;
+  config.width = 400.0;
+  config.height = 400.0;
+  config.degree = degree;
+  Graph g = sample_poisson_deployment(config, rng);
+  assign_uniform_qos(g, {}, rng);
+  return g;
+}
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int counter = 0;
+    for (int i = 0; i < 10000; ++i)
+      q.schedule_at(static_cast<SimTime>(i % 97), [&counter] { ++counter; });
+    q.run_until(100.0);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+
+void BM_ControlPlaneConvergence(benchmark::State& state) {
+  const Graph g = make_network(static_cast<double>(state.range(0)));
+  const Rfc3626Selector flooding;
+  const FnbpSelector<BandwidthMetric> ans;
+  const auto routes = [](const Graph& graph, NodeId self, NodeId dest) {
+    return compute_next_hop<BandwidthMetric>(graph, self, dest);
+  };
+  for (auto _ : state) {
+    Simulator sim(g, flooding, ans, routes);
+    sim.run_to_convergence();
+    benchmark::DoNotOptimize(sim.trace().control_bytes);
+    state.counters["events"] = static_cast<double>(sim.queue().processed());
+  }
+  state.counters["nodes"] = static_cast<double>(g.node_count());
+}
+
+}  // namespace
+
+BENCHMARK(BM_EventQueueThroughput);
+BENCHMARK(BM_ControlPlaneConvergence)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/local_view.hpp"
+#include "metrics/metric.hpp"
+
+namespace qolsr {
+
+/// The paper's total orders ≺_BW / ≺_D on a node's neighbors (§III-A),
+/// collapsed into their selection form: `max≺BW` (resp. `min≺D`) picks,
+/// among candidate first hops, the one whose *direct link from u* has the
+/// best metric value, breaking value ties by smallest identifier.
+///
+/// (The notation box of the paper garbles the inequality directions — its
+/// own worked example "v5 ≺ v1 as BW(u,v5) < BW(u,v1)" and "v1 ≺ v2 because
+/// v1 has a smaller identifier" fix the intended order: better link first,
+/// then smaller id.)
+///
+/// `candidates` are local ids of 1-hop neighbors of the view's origin;
+/// returns the chosen local id, or kInvalidNode when the span is empty.
+template <Metric M>
+std::uint32_t pick_best_link(const LocalView& view,
+                             std::span<const std::uint32_t> candidates) {
+  std::uint32_t best = kInvalidNode;
+  double best_value = M::unreachable();
+  for (std::uint32_t w : candidates) {
+    const LinkQos* qos = view.local_edge_qos(LocalView::origin_index(), w);
+    if (qos == nullptr) continue;
+    const double value = M::link_value(*qos);
+    if (best == kInvalidNode || M::better(value, best_value) ||
+        (!M::better(best_value, value) &&
+         view.global_id(w) < view.global_id(best))) {
+      best = w;
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+}  // namespace qolsr

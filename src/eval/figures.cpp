@@ -1,0 +1,111 @@
+#include "eval/figures.hpp"
+
+#include "core/fnbp.hpp"
+
+namespace qolsr {
+
+namespace {
+
+/// The paper's three contenders, in its legend order: original QOLSR with
+/// the MPR-2 heuristic, topology-filtering ANS, FNBP ANS.
+template <Metric M>
+struct Contenders {
+  QolsrSelector<M> qolsr{QolsrVariant::kMpr2};
+  TopologyFilteringSelector<M> topology_filtering;
+  FnbpSelector<M> fnbp;
+
+  std::vector<const AnsSelector*> list() const {
+    return {&qolsr, &topology_filtering, &fnbp};
+  }
+};
+
+template <Metric M>
+std::vector<DensityStats> sweep_for(const FigureConfig& config,
+                                    std::vector<double> densities) {
+  Scenario scenario;
+  scenario.densities = std::move(densities);
+  scenario.runs = config.runs;
+  scenario.seed = config.seed;
+  const Contenders<M> contenders;
+  return run_sweep<M>(scenario, contenders.list());
+}
+
+}  // namespace
+
+std::vector<DensityStats> bandwidth_sweep(const FigureConfig& config) {
+  return sweep_for<BandwidthMetric>(config, bandwidth_densities());
+}
+
+std::vector<DensityStats> delay_sweep(const FigureConfig& config) {
+  return sweep_for<DelayMetric>(config, delay_densities());
+}
+
+util::Table set_size_table(const std::vector<DensityStats>& sweep) {
+  std::vector<std::string> header{"density"};
+  if (!sweep.empty())
+    for (const ProtocolStats& p : sweep.front().protocols)
+      header.push_back(p.name);
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<double> row;
+    for (const ProtocolStats& p : d.protocols) row.push_back(p.set_size.mean());
+    table.add_row(d.density, row, 3);
+  }
+  return table;
+}
+
+util::Table overhead_table(const std::vector<DensityStats>& sweep) {
+  std::vector<std::string> header{"density"};
+  if (!sweep.empty())
+    for (const ProtocolStats& p : sweep.front().protocols)
+      header.push_back(p.name);
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<double> row;
+    for (const ProtocolStats& p : d.protocols) row.push_back(p.overhead.mean());
+    table.add_row(d.density, row, 4);
+  }
+  return table;
+}
+
+util::Table diagnostics_table(const std::vector<DensityStats>& sweep) {
+  std::vector<std::string> header{"density", "avg_nodes"};
+  if (!sweep.empty()) {
+    for (const ProtocolStats& p : sweep.front().protocols) {
+      header.push_back(p.name + "_delivered");
+      header.push_back(p.name + "_hops");
+    }
+  }
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<std::string> cells{util::format_double(d.density, 0),
+                                   util::format_double(d.node_count.mean(), 1)};
+    for (const ProtocolStats& p : d.protocols) {
+      cells.push_back(util::format_double(static_cast<double>(p.delivered), 0) +
+                      "/" +
+                      util::format_double(
+                          static_cast<double>(p.delivered + p.failed), 0));
+      cells.push_back(util::format_double(p.path_hops.mean(), 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+util::Table figure6_ans_size_bandwidth(const FigureConfig& config) {
+  return set_size_table(bandwidth_sweep(config));
+}
+
+util::Table figure7_ans_size_delay(const FigureConfig& config) {
+  return set_size_table(delay_sweep(config));
+}
+
+util::Table figure8_bandwidth_overhead(const FigureConfig& config) {
+  return overhead_table(bandwidth_sweep(config));
+}
+
+util::Table figure9_delay_overhead(const FigureConfig& config) {
+  return overhead_table(delay_sweep(config));
+}
+
+}  // namespace qolsr

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "eval/runner.hpp"
+#include "util/table.hpp"
+
+namespace qolsr {
+
+/// Shared knobs of the figure-reproduction harness. Defaults are the
+/// paper's (100 runs); benches expose --runs/--seed flags for quick passes.
+struct FigureConfig {
+  std::size_t runs = 100;
+  std::uint64_t seed = 42;
+};
+
+/// Fig. 6 — size of the advertised set vs. density, bandwidth metric.
+util::Table figure6_ans_size_bandwidth(const FigureConfig& config = {});
+
+/// Fig. 7 — size of the advertised set vs. density, delay metric.
+util::Table figure7_ans_size_delay(const FigureConfig& config = {});
+
+/// Fig. 8 — bandwidth overhead (b*−b)/b* vs. density.
+util::Table figure8_bandwidth_overhead(const FigureConfig& config = {});
+
+/// Fig. 9 — delay overhead (d−d*)/d* vs. density.
+util::Table figure9_delay_overhead(const FigureConfig& config = {});
+
+/// Runs the three-protocol sweep underlying a bandwidth figure once and
+/// returns the raw per-density stats (used by benches that print both set
+/// size and overhead without recomputing).
+std::vector<DensityStats> bandwidth_sweep(const FigureConfig& config);
+std::vector<DensityStats> delay_sweep(const FigureConfig& config);
+
+/// Formats a sweep as the paper's Fig. 6/7 series (mean |ANS| per node).
+util::Table set_size_table(const std::vector<DensityStats>& sweep);
+/// Formats a sweep as the paper's Fig. 8/9 series (mean QoS overhead).
+util::Table overhead_table(const std::vector<DensityStats>& sweep);
+/// Companion diagnostics: delivery counts, path lengths, node counts.
+util::Table diagnostics_table(const std::vector<DensityStats>& sweep);
+
+}  // namespace qolsr

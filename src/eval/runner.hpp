@@ -1,0 +1,227 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/scenario.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/local_view.hpp"
+#include "metrics/metric.hpp"
+#include "olsr/selector.hpp"
+#include "path/dijkstra.hpp"
+#include "routing/advertised_topology.hpp"
+#include "routing/forwarding.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace qolsr {
+
+/// Aggregated measurements of one protocol at one density.
+struct ProtocolStats {
+  std::string name;
+  util::RunningStats set_size;   ///< mean |ANS| per node, one sample per run
+  util::RunningStats overhead;   ///< (b*−b)/b* resp. (d−d*)/d*, per run
+  util::RunningStats path_hops;  ///< hop length of the delivered route
+  std::size_t delivered = 0;
+  std::size_t failed = 0;        ///< no-route / loop / hop-limit outcomes
+};
+
+struct DensityStats {
+  double density = 0.0;
+  std::size_t runs = 0;
+  util::RunningStats node_count;
+  std::vector<ProtocolStats> protocols;
+};
+
+/// Per-run artifacts shared by all protocols on one sampled topology.
+struct SampledRun {
+  Graph graph;
+  NodeId source = kInvalidNode;
+  NodeId destination = kInvalidNode;
+  double optimal_value = 0.0;  ///< b* / d* on the full graph (Dijkstra)
+};
+
+/// Samples one evaluation topology: Poisson deployment, uniform link QoS,
+/// and a random connected (source, destination) pair. Re-draws the pair up
+/// to `scenario.max_pair_draws` times, then resamples the whole topology —
+/// a disconnected pair has no optimum to compare against (DESIGN.md §4.8).
+template <Metric M>
+SampledRun sample_run(const Scenario& scenario, double density,
+                      util::Rng& rng) {
+  SampledRun run;
+  for (;;) {
+    DeploymentConfig field = scenario.field;
+    field.degree = density;
+    run.graph = sample_poisson_deployment(field, rng);
+    if (run.graph.node_count() < 2) continue;
+    assign_uniform_qos(run.graph, scenario.qos, rng);
+    const Components components = connected_components(run.graph);
+    const auto n = static_cast<NodeId>(run.graph.node_count());
+    for (std::size_t attempt = 0; attempt < scenario.max_pair_draws;
+         ++attempt) {
+      const NodeId s = static_cast<NodeId>(rng.uniform_int(n));
+      NodeId d = kInvalidNode;
+      if (scenario.pair_mode == Scenario::PairMode::kTwoHop) {
+        const LocalView view(run.graph, s);
+        if (view.two_hop().empty()) continue;
+        const std::uint32_t pick = static_cast<std::uint32_t>(
+            rng.uniform_int(std::uint64_t{view.two_hop().size()}));
+        d = view.global_id(view.two_hop()[pick]);
+      } else {
+        d = static_cast<NodeId>(rng.uniform_int(n));
+        if (s == d || !components.connected(s, d)) continue;
+      }
+      run.source = s;
+      run.destination = d;
+      const DijkstraResult optimal = dijkstra<M>(run.graph, s);
+      run.optimal_value = optimal.value[d];
+      return run;
+    }
+  }
+}
+
+/// QoS overhead of an achieved route value vs. the optimum (paper §IV-A):
+/// bandwidth-style (concave) metrics lose (b*−b)/b*; delay-style (additive)
+/// metrics pay (d−d*)/d*.
+template <Metric M>
+double qos_overhead(double achieved, double optimal) {
+  if constexpr (M::kind == MetricKind::kConcave) {
+    return (optimal - achieved) / optimal;
+  } else {
+    return (achieved - optimal) / optimal;
+  }
+}
+
+namespace eval_detail {
+
+/// Executes one sampled run and folds the measurements into `stats`.
+template <Metric M>
+void execute_run(const Scenario& scenario, double density,
+                 std::uint64_t run_seed,
+                 const std::vector<const AnsSelector*>& selectors,
+                 DensityStats& stats) {
+  util::Rng rng(run_seed);
+  const SampledRun run = sample_run<M>(scenario, density, rng);
+  stats.node_count.add(static_cast<double>(run.graph.node_count()));
+
+  // Every node's view is built once and shared by all selectors.
+  std::vector<std::vector<std::vector<NodeId>>> ans(selectors.size());
+  for (auto& per_node : ans) per_node.resize(run.graph.node_count());
+  for (NodeId u = 0; u < run.graph.node_count(); ++u) {
+    const LocalView view(run.graph, u);
+    for (std::size_t si = 0; si < selectors.size(); ++si)
+      ans[si][u] = selectors[si]->select(view);
+  }
+
+  for (std::size_t si = 0; si < selectors.size(); ++si) {
+    ProtocolStats& ps = stats.protocols[si];
+    ps.set_size.add(average_set_size(ans[si]));
+
+    ForwardingOptions options;
+    options.use_local_views = scenario.use_local_views;
+    options.min_hop_routing = !selectors[si]->qos_first_routing();
+    ForwardingResult routed;
+    if (scenario.routing_model == Scenario::RoutingModel::kAnsChain) {
+      routed = forward_via_ans<M>(run.graph, ans[si], run.source,
+                                  run.destination, options);
+    } else {
+      const Graph advertised = build_advertised_topology(run.graph, ans[si]);
+      routed = scenario.hop_by_hop
+                   ? forward_packet<M>(run.graph, advertised, run.source,
+                                       run.destination, options)
+                   : source_route_packet<M>(run.graph, advertised,
+                                            run.source, run.destination,
+                                            options);
+    }
+    if (routed.delivered()) {
+      ++ps.delivered;
+      ps.overhead.add(qos_overhead<M>(routed.value, run.optimal_value));
+      ps.path_hops.add(static_cast<double>(routed.path.size() - 1));
+    } else {
+      ++ps.failed;
+    }
+  }
+}
+
+inline void merge_into(DensityStats& into, const DensityStats& from) {
+  into.node_count.merge(from.node_count);
+  for (std::size_t si = 0; si < into.protocols.size(); ++si) {
+    ProtocolStats& a = into.protocols[si];
+    const ProtocolStats& b = from.protocols[si];
+    a.set_size.merge(b.set_size);
+    a.overhead.merge(b.overhead);
+    a.path_hops.merge(b.path_hops);
+    a.delivered += b.delivered;
+    a.failed += b.failed;
+  }
+}
+
+inline DensityStats empty_stats(
+    double density, std::size_t runs,
+    const std::vector<const AnsSelector*>& selectors) {
+  DensityStats stats;
+  stats.density = density;
+  stats.runs = runs;
+  for (const AnsSelector* s : selectors)
+    stats.protocols.push_back({std::string(s->name()), {}, {}, {}, 0, 0});
+  return stats;
+}
+
+}  // namespace eval_detail
+
+/// Runs the full density sweep for a set of selection heuristics under
+/// metric M: per run, every node's ANS (oracle selection on its exact
+/// G_u), the advertised topology, and one routed packet per protocol on the
+/// shared (source, destination) pair.
+///
+/// Runs are independent (each derives its own RNG stream from the scenario
+/// seed), so they are distributed over `threads` workers; results are
+/// merged and identical for every thread count, including 1.
+template <Metric M>
+std::vector<DensityStats> run_sweep(
+    const Scenario& scenario, const std::vector<const AnsSelector*>& selectors,
+    unsigned threads = std::thread::hardware_concurrency()) {
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(scenario.runs, 1)));
+
+  std::vector<DensityStats> sweep;
+  sweep.reserve(scenario.densities.size());
+
+  for (std::size_t di = 0; di < scenario.densities.size(); ++di) {
+    const double density = scenario.densities[di];
+    auto seed_of = [&](std::size_t run_index) {
+      return scenario.seed + 0x1000003 * (di + 1) + run_index;
+    };
+
+    std::vector<DensityStats> partials(
+        threads, eval_detail::empty_stats(density, scenario.runs, selectors));
+    if (threads == 1) {
+      for (std::size_t r = 0; r < scenario.runs; ++r)
+        eval_detail::execute_run<M>(scenario, density, seed_of(r), selectors,
+                                    partials[0]);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          for (std::size_t r = t; r < scenario.runs; r += threads)
+            eval_detail::execute_run<M>(scenario, density, seed_of(r),
+                                        selectors, partials[t]);
+        });
+      }
+      for (std::thread& w : workers) w.join();
+    }
+
+    DensityStats stats = std::move(partials[0]);
+    for (unsigned t = 1; t < threads; ++t)
+      eval_detail::merge_into(stats, partials[t]);
+    sweep.push_back(std::move(stats));
+  }
+  return sweep;
+}
+
+}  // namespace qolsr

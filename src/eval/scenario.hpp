@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/deployment.hpp"
+
+namespace qolsr {
+
+/// One evaluation sweep, mirroring the paper's §IV-A settings: nodes in a
+/// 1000×1000 field, R = 100, Poisson deployment of mean degree δ, link
+/// weights uniform in a fixed interval, 100 runs per density with one
+/// random (source, destination) pair per run shared by all protocols.
+struct Scenario {
+  DeploymentConfig field{};          ///< degree is overridden per sweep point
+  std::vector<double> densities;     ///< δ values (x-axis of Figs. 6–9)
+  std::size_t runs = 100;
+  std::uint64_t seed = 42;
+  /// Integer weights 1..5 by default: the paper's worked examples use
+  /// small integers, and the resulting tie structure is what separates the
+  /// heuristics' set sizes — under additive metrics especially, continuous
+  /// weights never tie and the "advertise every tied first hop" cost of
+  /// topology filtering disappears (see deployment.hpp and EXPERIMENTS.md).
+  QosIntervals qos{.bandwidth_hi = 5.0, .delay_hi = 5.0, .integral = true};
+  /// How routes are realized over the advertised state (see
+  /// routing/forwarding.hpp and DESIGN.md §4.4):
+  ///  * kAdvertisedUnion (default) — hop-by-hop over the undirected union
+  ///    of all advertised links plus each hop's own links, RFC-style
+  ///    routing tables; each protocol routes with its own discipline
+  ///    (QOLSR hop-count-first, the QANS designs QoS-first);
+  ///  * kAnsChain — strict directed relay chains through each node's own
+  ///    ANS (the paper's §I wording taken literally; punishing for minimal
+  ///    advertised sets — see EXPERIMENTS.md).
+  enum class RoutingModel { kAnsChain, kAdvertisedUnion };
+  RoutingModel routing_model = RoutingModel::kAdvertisedUnion;
+  /// For kAdvertisedUnion: source routing (default) vs. hop-by-hop. The
+  /// source decides the path on its knowledge — one consistent decision,
+  /// no inter-hop inconsistency; for the 2-hop pairs of the paper's
+  /// evaluation the two coincide in practice.
+  bool hop_by_hop = false;
+  /// For kAdvertisedUnion: merge the deciding node's full HELLO-derived
+  /// 2-hop view into its routing knowledge (G_u ∪ A — what the node
+  /// actually knows). Default on; hop-by-hop mode with heterogeneous views
+  /// can loop (see routing/forwarding.hpp), source routing cannot.
+  bool use_local_views = true;
+  /// How the measured (source u, destination v) pair is drawn:
+  ///  * kTwoHop (default) — v uniform in N²(u), the pairs the QANS designs
+  ///    optimize for (the paper reuses the algorithm's u/v naming and its
+  ///    overhead magnitudes only come out at this range — see
+  ///    EXPERIMENTS.md);
+  ///  * kAnyConnected — v uniform over u's connected component (long
+  ///    multi-hop flows).
+  enum class PairMode { kTwoHop, kAnyConnected };
+  PairMode pair_mode = PairMode::kTwoHop;
+  /// Re-draws of the (source, destination) pair before resampling a
+  /// topology when the draw keeps failing (disconnected pair / empty N²).
+  std::size_t max_pair_draws = 64;
+};
+
+/// Densities used by the bandwidth figures (6 and 8).
+inline std::vector<double> bandwidth_densities() {
+  return {10, 15, 20, 25, 30, 35};
+}
+
+/// Densities used by the delay figures (7 and 9).
+inline std::vector<double> delay_densities() { return {5, 10, 15, 20, 25, 30}; }
+
+}  // namespace qolsr

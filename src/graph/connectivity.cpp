@@ -1,0 +1,46 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace qolsr {
+
+Components connected_components(const Graph& graph) {
+  Components result;
+  result.labels.assign(graph.node_count(), kInvalidNode);
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < graph.node_count(); ++start) {
+    if (result.labels[start] != kInvalidNode) continue;
+    const std::uint32_t label = result.count++;
+    result.labels[start] = label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const Edge& e : graph.neighbors(v)) {
+        if (result.labels[e.to] != kInvalidNode) continue;
+        result.labels[e.to] = label;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& graph, NodeId u, NodeId v) {
+  return connected_components(graph).connected(u, v);
+}
+
+std::vector<NodeId> largest_component(const Graph& graph) {
+  const Components components = connected_components(graph);
+  std::vector<std::size_t> sizes(components.count, 0);
+  for (std::uint32_t label : components.labels) ++sizes[label];
+  const auto best = static_cast<std::uint32_t>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph.node_count(); ++v)
+    if (components.labels[v] == best) nodes.push_back(v);
+  return nodes;
+}
+
+}  // namespace qolsr

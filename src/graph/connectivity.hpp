@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/node_id.hpp"
+
+namespace qolsr {
+
+/// Connected-component labelling (BFS). `labels[v]` is the component id of
+/// v; ids are dense starting at 0 in order of discovery.
+struct Components {
+  std::vector<std::uint32_t> labels;
+  std::uint32_t count = 0;
+
+  bool connected(NodeId u, NodeId v) const { return labels[u] == labels[v]; }
+};
+
+Components connected_components(const Graph& graph);
+
+/// True when u and v are in the same component.
+bool is_connected(const Graph& graph, NodeId u, NodeId v);
+
+/// Nodes of the largest connected component (ascending id).
+std::vector<NodeId> largest_component(const Graph& graph);
+
+}  // namespace qolsr

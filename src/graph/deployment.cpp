@@ -1,0 +1,115 @@
+#include "graph/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace qolsr {
+
+namespace {
+
+/// Uniform grid with cell side == radius: all unit-disk neighbors of a node
+/// lie in its cell or the 8 surrounding cells.
+class CellIndex {
+ public:
+  CellIndex(const std::vector<Point>& positions, double radius)
+      : radius_(radius) {
+    double max_x = 0.0, max_y = 0.0;
+    for (const Point& p : positions) {
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    cols_ = static_cast<std::size_t>(max_x / radius_) + 1;
+    rows_ = static_cast<std::size_t>(max_y / radius_) + 1;
+    cells_.resize(cols_ * rows_);
+    for (std::size_t i = 0; i < positions.size(); ++i)
+      cells_[cell_of(positions[i])].push_back(static_cast<NodeId>(i));
+  }
+
+  template <typename Fn>
+  void for_each_candidate(const Point& p, Fn&& fn) const {
+    const auto cx = static_cast<std::int64_t>(p.x / radius_);
+    const auto cy = static_cast<std::int64_t>(p.y / radius_);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const std::int64_t x = cx + dx;
+        const std::int64_t y = cy + dy;
+        if (x < 0 || y < 0 || x >= static_cast<std::int64_t>(cols_) ||
+            y >= static_cast<std::int64_t>(rows_))
+          continue;
+        for (NodeId id : cells_[static_cast<std::size_t>(y) * cols_ +
+                                static_cast<std::size_t>(x)])
+          fn(id);
+      }
+    }
+  }
+
+ private:
+  std::size_t cell_of(const Point& p) const {
+    const auto cx = static_cast<std::size_t>(p.x / radius_);
+    const auto cy = static_cast<std::size_t>(p.y / radius_);
+    return cy * cols_ + cx;
+  }
+
+  double radius_;
+  std::size_t cols_ = 0, rows_ = 0;
+  std::vector<std::vector<NodeId>> cells_;
+};
+
+}  // namespace
+
+Graph build_unit_disk_graph(const std::vector<Point>& positions,
+                            double radius) {
+  Graph graph;
+  for (const Point& p : positions) graph.add_node(p);
+  if (positions.empty()) return graph;
+
+  const CellIndex index(positions, radius);
+  for (NodeId u = 0; u < positions.size(); ++u) {
+    index.for_each_candidate(positions[u], [&](NodeId v) {
+      // Visit each unordered pair once.
+      if (v <= u) return;
+      if (within_radius(positions[u], positions[v], radius))
+        graph.add_edge(u, v);
+    });
+  }
+  return graph;
+}
+
+Graph sample_poisson_deployment(const DeploymentConfig& config,
+                                util::Rng& rng) {
+  const std::uint64_t n = rng.poisson(config.expected_nodes());
+  std::vector<Point> positions;
+  positions.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    positions.push_back(
+        {rng.uniform(0.0, config.width), rng.uniform(0.0, config.height)});
+  return build_unit_disk_graph(positions, config.radius);
+}
+
+void assign_uniform_qos(Graph& graph, const QosIntervals& iv,
+                        util::Rng& rng) {
+  auto draw = [&](double lo, double hi) {
+    if (!iv.integral) return rng.uniform(lo, hi);
+    const auto ilo = static_cast<std::int64_t>(std::ceil(lo));
+    const auto ihi = static_cast<std::int64_t>(std::floor(hi));
+    if (ihi <= ilo) return static_cast<double>(ilo);
+    return static_cast<double>(rng.uniform_int(ilo, ihi));
+  };
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const Edge& e : graph.neighbors(u)) {
+      if (e.to <= u) continue;  // one draw per undirected link
+      LinkQos qos;
+      qos.bandwidth = draw(iv.bandwidth_lo, iv.bandwidth_hi);
+      qos.delay = draw(iv.delay_lo, iv.delay_hi);
+      qos.jitter = draw(iv.jitter_lo, iv.jitter_hi);
+      qos.loss_cost = draw(iv.loss_lo, iv.loss_hi);
+      qos.energy = draw(iv.energy_lo, iv.energy_hi);
+      qos.buffers = draw(iv.buffers_lo, iv.buffers_hi);
+      graph.set_edge_qos(u, e.to, qos);
+    }
+  }
+}
+
+}  // namespace qolsr

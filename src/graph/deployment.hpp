@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <numbers>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qolsr {
+
+/// Parameters of the paper's deployment (§IV-A): nodes dropped in a
+/// `width × height` field by a Poisson Point Process, unit-disk links of
+/// radius `radius`, and target mean node degree `degree` δ. The process
+/// intensity is λ = δ / (π R²), so the expected node count is λ·area.
+struct DeploymentConfig {
+  double width = 1000.0;
+  double height = 1000.0;
+  double radius = 100.0;
+  double degree = 20.0;
+
+  double intensity() const {
+    return degree / (std::numbers::pi * radius * radius);
+  }
+  double expected_nodes() const { return intensity() * width * height; }
+};
+
+/// Samples a Poisson Point Process deployment: N ~ Poisson(λ·area) nodes,
+/// positions i.i.d. uniform in the field. Links are unit-disk (|uv| ≤ R)
+/// with default QoS; use `assign_uniform_qos` to draw link weights.
+Graph sample_poisson_deployment(const DeploymentConfig& config,
+                                util::Rng& rng);
+
+/// Builds a graph with exactly the given positions and unit-disk links —
+/// used by tests and by deterministic topologies. O(n) grid binning, so it
+/// scales to the dense paper settings.
+Graph build_unit_disk_graph(const std::vector<Point>& positions,
+                            double radius);
+
+/// Interval for uniformly drawn link weights ("weights (QoS values) on links
+/// are uniformly drawn at random in a fixed interval", §IV-A). The paper
+/// does not state the interval; [1,10] matches the magnitudes of its worked
+/// examples and is the repository default.
+struct QosIntervals {
+  double bandwidth_lo = 1.0, bandwidth_hi = 10.0;
+  double delay_lo = 1.0, delay_hi = 10.0;
+  double jitter_lo = 0.0, jitter_hi = 1.0;
+  double loss_lo = 0.0, loss_hi = 0.2;
+  double energy_lo = 1.0, energy_hi = 10.0;
+  double buffers_lo = 1.0, buffers_hi = 10.0;
+  /// Draw integer values (uniform on {⌈lo⌉..⌊hi⌋}) instead of continuous
+  /// ones. The paper's worked examples all use small integers, and the tie
+  /// structure matters: with continuous weights additive (delay) metrics
+  /// never tie, which erases the "advertise every tied first hop" cost the
+  /// paper attributes to topology filtering. The evaluation harness turns
+  /// this on (see EXPERIMENTS.md for the sensitivity discussion).
+  bool integral = false;
+};
+
+/// Draws independent uniform QoS values for every link of `graph`.
+void assign_uniform_qos(Graph& graph, const QosIntervals& intervals,
+                        util::Rng& rng);
+
+}  // namespace qolsr

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cmath>
+
+namespace qolsr {
+
+/// Position in the deployment field (the paper deploys in a 1000x1000
+/// square).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline double squared_distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+/// Unit-disk connectivity: `(u,v) ∈ E ⇔ |uv| ≤ R` (paper §III-A).
+inline bool within_radius(const Point& a, const Point& b, double radius) {
+  return squared_distance(a, b) <= radius * radius;
+}
+
+}  // namespace qolsr

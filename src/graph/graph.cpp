@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace qolsr {
+
+namespace {
+
+/// Sorted insert keeping the adjacency list ordered by `to`.
+void insert_sorted(std::vector<Edge>& list, const Edge& e) {
+  auto it = std::lower_bound(
+      list.begin(), list.end(), e.to,
+      [](const Edge& lhs, NodeId id) { return lhs.to < id; });
+  assert(it == list.end() || it->to != e.to);
+  list.insert(it, e);
+}
+
+}  // namespace
+
+NodeId Graph::add_node(Point position) {
+  adjacency_.emplace_back();
+  positions_.push_back(position);
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::add_edge(NodeId u, NodeId v, LinkQos qos) {
+  assert(u != v);
+  assert(u < adjacency_.size() && v < adjacency_.size());
+  insert_sorted(adjacency_[u], Edge{v, qos});
+  insert_sorted(adjacency_[v], Edge{u, qos});
+  ++edge_count_;
+}
+
+bool Graph::set_edge_qos(NodeId u, NodeId v, const LinkQos& qos) {
+  Edge* uv = find_edge(u, v);
+  Edge* vu = find_edge(v, u);
+  if (uv == nullptr || vu == nullptr) return false;
+  uv->qos = qos;
+  vu->qos = qos;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  auto erase_from = [this](NodeId from, NodeId to) {
+    auto& list = adjacency_[from];
+    auto it = std::lower_bound(
+        list.begin(), list.end(), to,
+        [](const Edge& lhs, NodeId id) { return lhs.to < id; });
+    if (it == list.end() || it->to != to) return false;
+    list.erase(it);
+    return true;
+  };
+  if (!erase_from(u, v)) return false;
+  erase_from(v, u);
+  --edge_count_;
+  return true;
+}
+
+const Edge* Graph::find_edge(NodeId u, NodeId v) const {
+  if (u >= adjacency_.size()) return nullptr;
+  const auto& list = adjacency_[u];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), v,
+      [](const Edge& lhs, NodeId id) { return lhs.to < id; });
+  if (it == list.end() || it->to != v) return nullptr;
+  return &*it;
+}
+
+Edge* Graph::find_edge(NodeId u, NodeId v) {
+  return const_cast<Edge*>(std::as_const(*this).find_edge(u, v));
+}
+
+}  // namespace qolsr

@@ -1,0 +1,165 @@
+#include "graph/local_view.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qolsr {
+
+namespace {
+
+void insert_sorted(std::vector<LocalView::LocalEdge>& list,
+                   const LocalView::LocalEdge& e) {
+  auto it = std::lower_bound(list.begin(), list.end(), e.to,
+                             [](const LocalView::LocalEdge& lhs,
+                                std::uint32_t id) { return lhs.to < id; });
+  assert(it == list.end() || it->to != e.to);
+  list.insert(it, e);
+}
+
+}  // namespace
+
+void LocalView::index_nodes(NodeId u,
+                            const std::vector<NodeId>& one_hop_globals,
+                            const std::vector<NodeId>& two_hop_globals) {
+  origin_ = u;
+  global_ids_.reserve(1 + one_hop_globals.size() + two_hop_globals.size());
+  global_ids_.push_back(u);
+  for (NodeId v : one_hop_globals) global_ids_.push_back(v);
+  first_two_hop_ = static_cast<std::uint32_t>(global_ids_.size());
+  for (NodeId v : two_hop_globals) global_ids_.push_back(v);
+
+  locals_.reserve(global_ids_.size() * 2);
+  for (std::uint32_t i = 0; i < global_ids_.size(); ++i)
+    locals_.emplace(global_ids_[i], i);
+  adjacency_.resize(global_ids_.size());
+
+  one_hop_.resize(one_hop_globals.size());
+  for (std::uint32_t i = 0; i < one_hop_.size(); ++i) one_hop_[i] = 1 + i;
+  two_hop_.resize(two_hop_globals.size());
+  for (std::uint32_t i = 0; i < two_hop_.size(); ++i)
+    two_hop_[i] = first_two_hop_ + i;
+}
+
+LocalView::LocalView(const Graph& graph, NodeId u) {
+  // N(u): direct neighbors, ascending id (graph adjacency is sorted).
+  std::vector<NodeId> one_hop_globals;
+  one_hop_globals.reserve(graph.degree(u));
+  for (const Edge& e : graph.neighbors(u)) one_hop_globals.push_back(e.to);
+
+  // N²(u): reachable through a neighbor, not u, not in N(u).
+  std::vector<NodeId> two_hop_globals;
+  for (NodeId v : one_hop_globals) {
+    for (const Edge& e : graph.neighbors(v)) {
+      const NodeId w = e.to;
+      if (w == u) continue;
+      if (std::binary_search(one_hop_globals.begin(), one_hop_globals.end(),
+                             w))
+        continue;
+      two_hop_globals.push_back(w);
+    }
+  }
+  std::sort(two_hop_globals.begin(), two_hop_globals.end());
+  two_hop_globals.erase(
+      std::unique(two_hop_globals.begin(), two_hop_globals.end()),
+      two_hop_globals.end());
+
+  index_nodes(u, one_hop_globals, two_hop_globals);
+
+  // E_u: every link incident to a 1-hop neighbor whose other endpoint is in
+  // V_u. Links between two 2-hop neighbors are unknown to u by construction.
+  for (NodeId v : one_hop_globals) {
+    const std::uint32_t lv = local_id(v);
+    for (const Edge& e : graph.neighbors(v)) {
+      const std::uint32_t lw = local_id(e.to);
+      if (lw == kInvalidNode) continue;  // outside V_u
+      // Deduplicate 1-hop/1-hop links (both endpoints get iterated) and the
+      // (u,v) links (v iterates them once; u never does as the outer loop
+      // skips u).
+      if (is_one_hop(lw) && e.to < v) continue;
+      add_local_edge(lv, lw, e.qos);
+    }
+  }
+}
+
+LocalView::LocalView(
+    NodeId u, const std::vector<NeighborLink>& one_hop,
+    const std::vector<std::vector<NeighborLink>>& neighbor_links) {
+  assert(one_hop.size() == neighbor_links.size());
+  std::vector<NodeId> one_hop_globals;
+  one_hop_globals.reserve(one_hop.size());
+  for (const NeighborLink& l : one_hop) one_hop_globals.push_back(l.to);
+  std::sort(one_hop_globals.begin(), one_hop_globals.end());
+
+  std::vector<NodeId> two_hop_globals;
+  for (const auto& links : neighbor_links) {
+    for (const NeighborLink& l : links) {
+      if (l.to == u) continue;
+      if (std::binary_search(one_hop_globals.begin(), one_hop_globals.end(),
+                             l.to))
+        continue;
+      two_hop_globals.push_back(l.to);
+    }
+  }
+  std::sort(two_hop_globals.begin(), two_hop_globals.end());
+  two_hop_globals.erase(
+      std::unique(two_hop_globals.begin(), two_hop_globals.end()),
+      two_hop_globals.end());
+
+  index_nodes(u, one_hop_globals, two_hop_globals);
+
+  for (const NeighborLink& l : one_hop)
+    add_local_edge(origin_index(), local_id(l.to), l.qos);
+  for (std::size_t i = 0; i < one_hop.size(); ++i) {
+    const std::uint32_t lv = local_id(one_hop[i].to);
+    for (const NeighborLink& l : neighbor_links[i]) {
+      if (l.to == u) continue;  // the (u,v) link was added above
+      const std::uint32_t lw = local_id(l.to);
+      if (lw == kInvalidNode) continue;
+      // A link between two 1-hop neighbors appears in both HELLO tables;
+      // keep the copy reported by the smaller-id endpoint.
+      if (is_one_hop(lw) && l.to < one_hop[i].to) continue;
+      if (has_local_edge(lv, lw)) continue;  // tolerate asymmetric reports
+      add_local_edge(lv, lw, l.qos);
+    }
+  }
+}
+
+std::uint32_t LocalView::local_id(NodeId global) const {
+  auto it = locals_.find(global);
+  return it == locals_.end() ? kInvalidNode : it->second;
+}
+
+void LocalView::add_local_edge(std::uint32_t a, std::uint32_t b,
+                               const LinkQos& qos) {
+  assert(a != b);
+  insert_sorted(adjacency_[a], LocalEdge{b, qos});
+  insert_sorted(adjacency_[b], LocalEdge{a, qos});
+}
+
+bool LocalView::has_local_edge(std::uint32_t a, std::uint32_t b) const {
+  return local_edge_qos(a, b) != nullptr;
+}
+
+const LinkQos* LocalView::local_edge_qos(std::uint32_t a,
+                                         std::uint32_t b) const {
+  const auto& list = adjacency_[a];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), b,
+      [](const LocalEdge& lhs, std::uint32_t id) { return lhs.to < id; });
+  if (it == list.end() || it->to != b) return nullptr;
+  return &it->qos;
+}
+
+void LocalView::remove_local_edge(std::uint32_t a, std::uint32_t b) {
+  auto erase_from = [this](std::uint32_t from, std::uint32_t to) {
+    auto& list = adjacency_[from];
+    auto it = std::lower_bound(
+        list.begin(), list.end(), to,
+        [](const LocalEdge& lhs, std::uint32_t id) { return lhs.to < id; });
+    if (it != list.end() && it->to == to) list.erase(it);
+  };
+  erase_from(a, b);
+  erase_from(b, a);
+}
+
+}  // namespace qolsr

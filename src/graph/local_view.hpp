@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/node_id.hpp"
+
+namespace qolsr {
+
+/// The partial view `G_u = (V_u, E_u)` a node has of the network
+/// (paper §III-A):
+///
+///   V_u = {u} ∪ N(u) ∪ N²(u)
+///   E_u = {(v,w) : v ∈ N(u) ∧ w ∈ V_u}
+///
+/// i.e. u knows every link incident to one of its 1-hop neighbors whose
+/// other endpoint it has heard of, but no link between two 2-hop neighbors
+/// (the dashed links of the paper's Fig. 2). In a deployed OLSR this view is
+/// assembled from HELLO messages piggybacking the neighbor table — the
+/// `proto` module does exactly that; this class is the oracle form.
+///
+/// Nodes are re-indexed into a compact local id space so the path algorithms
+/// can run on dense vectors. Local index 0 is always `u` itself.
+class LocalView {
+ public:
+  /// Extracts G_u from the full graph.
+  LocalView(const Graph& graph, NodeId u);
+
+  /// Builds a view directly from neighbor-table data (used by the protocol
+  /// stack): `one_hop[i]` are u's symmetric neighbors with their link QoS;
+  /// `neighbor_links[i]` lists the links of one_hop[i] (as advertised in its
+  /// HELLOs).
+  struct NeighborLink {
+    NodeId to = kInvalidNode;
+    LinkQos qos;
+  };
+  LocalView(NodeId u, const std::vector<NeighborLink>& one_hop,
+            const std::vector<std::vector<NeighborLink>>& neighbor_links);
+
+  NodeId origin() const { return origin_; }
+  std::size_t size() const { return adjacency_.size(); }
+
+  /// Local index of the origin u (always 0).
+  static constexpr std::uint32_t origin_index() { return 0; }
+
+  NodeId global_id(std::uint32_t local) const { return global_ids_[local]; }
+  /// Local index of a global node, or kInvalidNode when not in V_u.
+  std::uint32_t local_id(NodeId global) const;
+  bool contains(NodeId global) const {
+    return local_id(global) != kInvalidNode;
+  }
+
+  /// Adjacency in local index space.
+  struct LocalEdge {
+    std::uint32_t to = 0;
+    LinkQos qos;
+  };
+  std::span<const LocalEdge> neighbors(std::uint32_t local) const {
+    return adjacency_[local];
+  }
+
+  bool has_local_edge(std::uint32_t a, std::uint32_t b) const;
+  /// QoS of local link (a,b), or nullptr when absent.
+  const LinkQos* local_edge_qos(std::uint32_t a, std::uint32_t b) const;
+
+  /// 1-hop neighbors of u, as local indices, ascending global id.
+  std::span<const std::uint32_t> one_hop() const { return one_hop_; }
+  /// 2-hop neighbors of u (N², excludes u and N(u)), ascending global id.
+  std::span<const std::uint32_t> two_hop() const { return two_hop_; }
+
+  bool is_one_hop(std::uint32_t local) const {
+    return local != origin_index() && local < first_two_hop_;
+  }
+  bool is_two_hop(std::uint32_t local) const {
+    return local >= first_two_hop_;
+  }
+
+  /// Removes the undirected local edge (a, b). Used by topology filtering,
+  /// which prunes the view before selecting (the RNG reduction).
+  void remove_local_edge(std::uint32_t a, std::uint32_t b);
+
+ private:
+  void index_nodes(NodeId u, const std::vector<NodeId>& one_hop_globals,
+                   const std::vector<NodeId>& two_hop_globals);
+  void add_local_edge(std::uint32_t a, std::uint32_t b, const LinkQos& qos);
+
+  NodeId origin_ = kInvalidNode;
+  std::vector<NodeId> global_ids_;                    // local -> global
+  std::unordered_map<NodeId, std::uint32_t> locals_;  // global -> local
+  std::vector<std::vector<LocalEdge>> adjacency_;
+  std::vector<std::uint32_t> one_hop_;
+  std::vector<std::uint32_t> two_hop_;
+  std::uint32_t first_two_hop_ = 1;
+};
+
+}  // namespace qolsr

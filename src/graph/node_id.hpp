@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qolsr {
+
+/// Node identifier. Doubles as the paper's total-order "id" used for every
+/// tie-break (≺ operators, loop-fix condition `minid(fP) > u`).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace qolsr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/local_view.hpp"
+#include "metrics/metric.hpp"
+
+namespace qolsr {
+
+/// QoS Relative-Neighborhood-Graph reduction of a local view, the topology
+/// filter of Moraru & Simplot-Ryl (WONS 2006) that the paper uses as its
+/// second baseline.
+///
+/// The classic RNG (Toussaint 1980) drops edge (x,y) when some witness z is
+/// strictly closer to both endpoints: max(d(x,z), d(z,y)) < d(x,y).
+/// Generalized to a QoS weight, (x,y) is dropped when some common neighbor z
+/// in the view has *both* links strictly better than (x,y):
+///
+///   bandwidth: min(bw(x,z), bw(z,y)) > bw(x,y)
+///   delay:     max(D(x,z),  D(z,y))  < D(x,y)
+///
+/// Both are instances of `better(q(x,z), q(x,y)) ∧ better(q(z,y), q(x,y))`.
+/// Strictness makes the filter deterministic and keeps at least one best
+/// link per witness-clique (ties never remove each other).
+///
+/// Returns the filtered copy of `view` (the original is untouched).
+template <Metric M>
+LocalView rng_reduce(const LocalView& view) {
+  struct Removal {
+    std::uint32_t a, b;
+  };
+  std::vector<Removal> removals;
+  const auto n = static_cast<std::uint32_t>(view.size());
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (const LocalView::LocalEdge& edge : view.neighbors(x)) {
+      const std::uint32_t y = edge.to;
+      if (y <= x) continue;  // each undirected edge once
+      const double direct = M::link_value(edge.qos);
+      // Witness scan over the smaller adjacency list.
+      const auto& smaller = view.neighbors(x).size() <= view.neighbors(y).size()
+                                ? view.neighbors(x)
+                                : view.neighbors(y);
+      const std::uint32_t other =
+          view.neighbors(x).size() <= view.neighbors(y).size() ? y : x;
+      for (const LocalView::LocalEdge& xz : smaller) {
+        const std::uint32_t z = xz.to;
+        if (z == x || z == y) continue;
+        const LinkQos* zy = view.local_edge_qos(z, other);
+        if (zy == nullptr) continue;
+        if (M::better(M::link_value(xz.qos), direct) &&
+            M::better(M::link_value(*zy), direct)) {
+          removals.push_back({x, y});
+          break;
+        }
+      }
+    }
+  }
+  LocalView reduced = view;
+  for (const Removal& r : removals) reduced.remove_local_edge(r.a, r.b);
+  return reduced;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,23 @@
+#pragma once
+
+namespace qolsr {
+
+/// QoS annotations carried by every (bidirectional) link.
+///
+/// The paper evaluates bandwidth (concave) and delay (additive) and notes the
+/// algorithm is metric-agnostic; the extra fields let the same machinery run
+/// on jitter / loss / energy / buffer metrics (Section II–III of the paper,
+/// and its future-work direction). How these values are *measured* is out of
+/// scope of the paper (it cites Munaretto & Fonseca); here they are inputs.
+struct LinkQos {
+  double bandwidth = 1.0;  ///< available bandwidth (higher is better)
+  double delay = 1.0;      ///< one-hop delay (lower is better)
+  double jitter = 0.0;     ///< delay variation (lower is better, additive)
+  double loss_cost = 0.0;  ///< -log(1-p) success-cost form (additive)
+  double energy = 1.0;     ///< energy to transmit over this link (additive)
+  double buffers = 1.0;    ///< free buffers at the downstream node (concave)
+
+  friend bool operator==(const LinkQos&, const LinkQos&) = default;
+};
+
+}  // namespace qolsr

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <limits>
+#include <string_view>
+
+#include "metrics/link_qos.hpp"
+
+namespace qolsr {
+
+/// How a metric composes along a path.
+enum class MetricKind {
+  kAdditive,  ///< path value = sum of link values (delay, jitter, energy…)
+  kConcave,   ///< path value = min of link values (bandwidth, buffers…)
+};
+
+/// A Metric is a stateless policy describing one QoS dimension:
+///
+///  * `link_value(q)`  — extract this metric's value from a link record;
+///  * `combine(a, b)`  — extend a path of value `a` by a link of value `b`
+///                       (sum for additive metrics, min for concave ones);
+///  * `better(a, b)`   — strict "a is preferable to b";
+///  * `identity()`     — value of the empty path (0 for additive, +inf for
+///                       concave): `combine(identity(), x) == x`;
+///  * `unreachable()`  — value strictly worse than any real path.
+///
+/// Algorithms additionally rely on combine() being *non-improving*:
+/// `better(combine(a, b), a)` is never true. This holds for non-negative
+/// additive link values and for min-composition, and is what makes
+/// label-setting (Dijkstra) correct for both families.
+template <typename M>
+concept Metric = requires(double a, double b, const LinkQos& q) {
+  { M::kind } -> std::convertible_to<MetricKind>;
+  { M::name() } -> std::convertible_to<std::string_view>;
+  { M::link_value(q) } -> std::convertible_to<double>;
+  { M::combine(a, b) } -> std::convertible_to<double>;
+  { M::better(a, b) } -> std::convertible_to<bool>;
+  { M::identity() } -> std::convertible_to<double>;
+  { M::unreachable() } -> std::convertible_to<double>;
+};
+
+namespace metric_detail {
+
+/// Tolerant equality for path values. Concave values are exact copies of
+/// link values, but additive values are floating-point sums whose rounding
+/// depends on summation order; two enumerations of the same path must
+/// compare equal.
+inline bool values_equal(double a, double b) {
+  if (a == b) return true;
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= 1e-9 * std::fmax(scale, 1.0);
+}
+
+struct AdditiveBase {
+  static constexpr MetricKind kind = MetricKind::kAdditive;
+  static double combine(double a, double b) { return a + b; }
+  static bool better(double a, double b) {
+    return a < b && !values_equal(a, b);
+  }
+  static double identity() { return 0.0; }
+  static double unreachable() { return std::numeric_limits<double>::infinity(); }
+};
+
+struct ConcaveBase {
+  static constexpr MetricKind kind = MetricKind::kConcave;
+  static double combine(double a, double b) { return a < b ? a : b; }
+  static bool better(double a, double b) {
+    return a > b && !values_equal(a, b);
+  }
+  static double identity() { return std::numeric_limits<double>::infinity(); }
+  static double unreachable() {
+    return -std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace metric_detail
+
+/// `a` and `b` are equally good path values under any metric.
+inline bool metric_equal(double a, double b) {
+  return metric_detail::values_equal(a, b);
+}
+
+/// Concave: the bandwidth of a path is the minimum link bandwidth
+/// (`BW(p) = min BW(x_i, x_{i+1})`, paper §III-A).
+struct BandwidthMetric : metric_detail::ConcaveBase {
+  static std::string_view name() { return "bandwidth"; }
+  static double link_value(const LinkQos& q) { return q.bandwidth; }
+};
+
+/// Additive: the delay of a path is the sum of link delays
+/// (`D(p) = Σ D(x_i, x_{i+1})`, paper §III-A).
+struct DelayMetric : metric_detail::AdditiveBase {
+  static std::string_view name() { return "delay"; }
+  static double link_value(const LinkQos& q) { return q.delay; }
+};
+
+/// Additive, like delay (paper §III: "jitter or packet loss metrics which
+/// are also additive metrics").
+struct JitterMetric : metric_detail::AdditiveBase {
+  static std::string_view name() { return "jitter"; }
+  static double link_value(const LinkQos& q) { return q.jitter; }
+};
+
+/// Additive in the -log(1-p) form: summing link costs multiplies success
+/// probabilities.
+struct LossMetric : metric_detail::AdditiveBase {
+  static std::string_view name() { return "loss"; }
+  static double link_value(const LinkQos& q) { return q.loss_cost; }
+};
+
+/// Additive energy-to-transmit (the paper's future-work metric, after
+/// Mahfoudh's residual-energy routing).
+struct EnergyMetric : metric_detail::AdditiveBase {
+  static std::string_view name() { return "energy"; }
+  static double link_value(const LinkQos& q) { return q.energy; }
+};
+
+/// Concave: "the number of buffers available at each node along a path"
+/// (paper §III, example of another concave metric).
+struct BuffersMetric : metric_detail::ConcaveBase {
+  static std::string_view name() { return "buffers"; }
+  static double link_value(const LinkQos& q) { return q.buffers; }
+};
+
+static_assert(Metric<BandwidthMetric>);
+static_assert(Metric<DelayMetric>);
+static_assert(Metric<JitterMetric>);
+static_assert(Metric<LossMetric>);
+static_assert(Metric<EnergyMetric>);
+static_assert(Metric<BuffersMetric>);
+
+}  // namespace qolsr

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/local_view.hpp"
+#include "metrics/metric.hpp"
+#include "path/dijkstra.hpp"
+
+namespace qolsr {
+
+/// Exhaustive-search reference implementations. Exponential — test-sized
+/// graphs only. These are the ground truth the property tests compare the
+/// production Dijkstra / first-hop code against.
+template <Metric M, typename G>
+struct BruteForceResult {
+  double best;
+  std::vector<std::vector<std::uint32_t>> optimal_paths;  // node sequences
+};
+
+namespace brute_detail {
+
+template <Metric M, typename G>
+void dfs_all_paths(const G& graph, std::uint32_t target,
+                   std::vector<std::uint32_t>& current,
+                   std::vector<bool>& on_path, double value,
+                   std::uint32_t excluded, BruteForceResult<M, G>& out) {
+  const std::uint32_t v = current.back();
+  if (v == target) {
+    if (out.optimal_paths.empty() || M::better(value, out.best)) {
+      out.best = value;
+      out.optimal_paths.assign(1, current);
+    } else if (metric_equal(value, out.best)) {
+      out.optimal_paths.push_back(current);
+    }
+    return;
+  }
+  for (const auto& edge : graph.neighbors(v)) {
+    const std::uint32_t next = edge.to;
+    if (next == excluded || on_path[next]) continue;
+    const double cand = M::combine(value, M::link_value(edge.qos));
+    on_path[next] = true;
+    current.push_back(next);
+    dfs_all_paths<M>(graph, target, current, on_path, cand, excluded, out);
+    current.pop_back();
+    on_path[next] = false;
+  }
+}
+
+}  // namespace brute_detail
+
+/// All optimal simple paths source→target and their value, by enumerating
+/// every simple path. `excluded` removes one vertex, mirroring the
+/// `dijkstra` parameter.
+template <Metric M, typename G>
+BruteForceResult<M, G> brute_force_best_paths(
+    const G& graph, std::uint32_t source, std::uint32_t target,
+    std::uint32_t excluded = kInvalidNode) {
+  BruteForceResult<M, G> out{M::unreachable(), {}};
+  if (source == excluded || target == excluded) return out;
+  const std::size_t n = dijkstra_detail::graph_size(graph);
+  std::vector<bool> on_path(n, false);
+  std::vector<std::uint32_t> current{source};
+  on_path[source] = true;
+  brute_detail::dfs_all_paths<M>(graph, target, current, on_path,
+                                 M::identity(), excluded, out);
+  return out;
+}
+
+/// Ground-truth fP(u,v): first nodes of all optimal simple u→v paths in the
+/// view (ascending, deduplicated).
+template <Metric M>
+std::vector<std::uint32_t> brute_force_first_hops(const LocalView& view,
+                                                  std::uint32_t target) {
+  const auto result = brute_force_best_paths<M, LocalView>(
+      view, LocalView::origin_index(), target);
+  std::vector<std::uint32_t> hops;
+  for (const auto& path : result.optimal_paths)
+    if (path.size() >= 2) hops.push_back(path[1]);
+  std::sort(hops.begin(), hops.end());
+  hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
+  return hops;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,22 @@
+#include "path/dijkstra.hpp"
+
+#include <algorithm>
+
+namespace qolsr {
+
+std::vector<std::uint32_t> extract_path(const DijkstraResult& result,
+                                        std::uint32_t source,
+                                        std::uint32_t target) {
+  std::vector<std::uint32_t> path;
+  if (target >= result.parent.size()) return path;
+  if (target != source && result.parent[target] == kInvalidNode) return path;
+  for (std::uint32_t v = target;; v = result.parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+    if (result.parent[v] == kInvalidNode) return {};  // broken chain
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace qolsr

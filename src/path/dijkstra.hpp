@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/local_view.hpp"
+#include "metrics/metric.hpp"
+
+namespace qolsr {
+
+/// Result of a single-source QoS shortest-path computation.
+///
+/// Optimality is lexicographic in (metric value, hop count): among paths of
+/// equal QoS value the fewest-hop one wins. The hop tie-break matters twice:
+/// it makes results deterministic under the floating-point ties that concave
+/// metrics produce constantly (every path through one bottleneck link has
+/// the same value), and it gives hop-by-hop forwarding the suffix property
+/// that guarantees loop-freedom (see routing/forwarding.hpp).
+struct DijkstraResult {
+  std::vector<double> value;          ///< best metric value per node
+  std::vector<std::uint32_t> hops;    ///< hops of that best path
+  std::vector<std::uint32_t> parent;  ///< predecessor (kInvalidNode at source
+                                      ///< and unreachable nodes)
+
+  bool reached(std::uint32_t v, double unreachable_value) const {
+    return value[v] != unreachable_value;
+  }
+};
+
+namespace dijkstra_detail {
+
+inline std::size_t graph_size(const LocalView& g) { return g.size(); }
+/// Any graph-like type exposing node_count() (Graph, DirectedGraph, …).
+template <typename G>
+  requires requires(const G& g) {
+    { g.node_count() } -> std::convertible_to<std::size_t>;
+  }
+std::size_t graph_size(const G& g) {
+  return g.node_count();
+}
+
+/// (value, hops) lexicographic "a strictly better than b" under metric M.
+template <Metric M>
+bool lex_better(double av, std::uint32_t ah, double bv, std::uint32_t bh) {
+  if (M::better(av, bv)) return true;
+  if (M::better(bv, av)) return false;
+  // Values tie (within tolerance): fewer hops wins.
+  return metric_equal(av, bv) ? ah < bh : false;
+}
+
+}  // namespace dijkstra_detail
+
+/// Generic label-setting Dijkstra over either the full `Graph` or a
+/// `LocalView`, parameterized by the metric algebra:
+///
+///  * additive metrics (delay…): classic min-sum shortest path;
+///  * concave metrics (bandwidth…): widest path (max-min).
+///
+/// `excluded` (optional) removes one vertex from the graph — the `fP`
+/// computation runs on `G_u \ {u}` to enforce simple-path semantics.
+///
+/// Correctness requires combine() to be non-improving (see metric.hpp);
+/// then the lexicographic (value, hops) order is label-setting: a popped
+/// vertex is final.
+template <Metric M, typename G>
+DijkstraResult dijkstra(const G& graph, std::uint32_t source,
+                        std::uint32_t excluded = kInvalidNode) {
+  const std::size_t n = dijkstra_detail::graph_size(graph);
+  DijkstraResult result;
+  result.value.assign(n, M::unreachable());
+  result.hops.assign(n, 0);
+  result.parent.assign(n, kInvalidNode);
+
+  struct Entry {
+    double value;
+    std::uint32_t hops;
+    std::uint32_t node;
+  };
+  // priority_queue pops the comparator-largest element; "largest" must be
+  // the lexicographically best entry.
+  auto worse = [](const Entry& a, const Entry& b) {
+    return dijkstra_detail::lex_better<M>(b.value, b.hops, a.value, a.hops);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
+
+  if (source == excluded) return result;
+  result.value[source] = M::identity();
+  queue.push({M::identity(), 0, source});
+
+  std::vector<bool> settled(n, false);
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (settled[top.node]) continue;
+    settled[top.node] = true;
+    for (const auto& edge : graph.neighbors(top.node)) {
+      const std::uint32_t next = edge.to;
+      if (next == excluded || settled[next]) continue;
+      const double cand = M::combine(top.value, M::link_value(edge.qos));
+      const std::uint32_t cand_hops = top.hops + 1;
+      const bool first_touch = result.value[next] == M::unreachable();
+      if (first_touch ||
+          dijkstra_detail::lex_better<M>(cand, cand_hops, result.value[next],
+                                         result.hops[next])) {
+        result.value[next] = cand;
+        result.hops[next] = cand_hops;
+        result.parent[next] = top.node;
+        queue.push({cand, cand_hops, next});
+      }
+    }
+  }
+  return result;
+}
+
+/// Hop-count-primary variant: minimizes hops, breaking ties by the better
+/// metric value — original OLSR's routing discipline with a QoS tie-break,
+/// which is how the QOLSR baseline routes ("in order to maintain shortest
+/// paths in terms of number of hops", paper §II). The lexicographic
+/// (hops, value) order *is* isotone under edge extension (hops grow by
+/// exactly one, combine() is monotone in its first argument), so plain
+/// label-setting is exact here for both metric families.
+template <Metric M, typename G>
+DijkstraResult dijkstra_min_hop(const G& graph, std::uint32_t source,
+                                std::uint32_t excluded = kInvalidNode) {
+  const std::size_t n = dijkstra_detail::graph_size(graph);
+  DijkstraResult result;
+  result.value.assign(n, M::unreachable());
+  result.hops.assign(n, 0);
+  result.parent.assign(n, kInvalidNode);
+
+  struct Entry {
+    double value;
+    std::uint32_t hops;
+    std::uint32_t node;
+  };
+  auto hop_lex_better = [](double av, std::uint32_t ah, double bv,
+                           std::uint32_t bh) {
+    if (ah != bh) return ah < bh;
+    return M::better(av, bv);
+  };
+  auto worse = [hop_lex_better](const Entry& a, const Entry& b) {
+    return hop_lex_better(b.value, b.hops, a.value, a.hops);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
+
+  if (source == excluded) return result;
+  result.value[source] = M::identity();
+  queue.push({M::identity(), 0, source});
+
+  std::vector<bool> settled(n, false);
+  while (!queue.empty()) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (settled[top.node]) continue;
+    settled[top.node] = true;
+    for (const auto& edge : graph.neighbors(top.node)) {
+      const std::uint32_t next = edge.to;
+      if (next == excluded || settled[next]) continue;
+      const double cand = M::combine(top.value, M::link_value(edge.qos));
+      const std::uint32_t cand_hops = top.hops + 1;
+      const bool first_touch = result.value[next] == M::unreachable();
+      if (first_touch || hop_lex_better(cand, cand_hops, result.value[next],
+                                        result.hops[next])) {
+        result.value[next] = cand;
+        result.hops[next] = cand_hops;
+        result.parent[next] = top.node;
+        queue.push({cand, cand_hops, next});
+      }
+    }
+  }
+  return result;
+}
+
+/// Reconstructs the node sequence source..target from `parent` pointers.
+/// Empty when target was not reached.
+std::vector<std::uint32_t> extract_path(const DijkstraResult& result,
+                                        std::uint32_t source,
+                                        std::uint32_t target);
+
+}  // namespace qolsr

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/local_view.hpp"
+#include "path/dijkstra.hpp"
+
+namespace qolsr {
+
+/// The per-destination "first node on best path" sets of the paper:
+/// for every v in the local view,
+///
+///   best[v] = B̃(u,v)   (resp. D̃(u,v)) — the best simple-path value from u
+///                        to v inside G_u;
+///   fp[v]   = fP(u,v)  — every 1-hop neighbor w of u that starts some best
+///                        path (paper §III-A; e.g. fPBW(u,v3) = {v1,v2} in
+///                        its Fig. 2).
+///
+/// Indexed by *local* id; `fp` lists local ids, ascending (which is also
+/// ascending global id, since one-hop locals are assigned in id order).
+struct FirstHopTable {
+  std::vector<double> best;
+  std::vector<std::vector<std::uint32_t>> fp;
+
+  bool reachable(std::uint32_t v) const { return !fp[v].empty(); }
+};
+
+/// Computes the table exactly, with simple-path semantics: a best path may
+/// not revisit u, so each neighbor w is evaluated by a Dijkstra on
+/// G_u \ {u} rooted at w, and
+///
+///   value_via_w(v) = combine(q(u,w), dist_{G_u∖u}(w, v)).
+///
+/// (A single Dijkstra from u with first-hop propagation over tight edges is
+/// wrong for concave metrics: min-composition saturates, the tight-edge
+/// relation has cycles, and non-simple "best" paths through u would be
+/// counted. deg(u) small Dijkstras are exact and cheap on a 2-hop view.)
+template <Metric M>
+FirstHopTable compute_first_hops(const LocalView& view) {
+  const auto n = static_cast<std::uint32_t>(view.size());
+  FirstHopTable table;
+  table.best.assign(n, M::unreachable());
+  table.fp.assign(n, {});
+  table.best[LocalView::origin_index()] = M::identity();
+
+  for (std::uint32_t w : view.one_hop()) {
+    const LinkQos* first_link =
+        view.local_edge_qos(LocalView::origin_index(), w);
+    if (first_link == nullptr) continue;  // filtered out by a reduction
+    const double first_value = M::link_value(*first_link);
+    const DijkstraResult from_w =
+        dijkstra<M>(view, w, /*excluded=*/LocalView::origin_index());
+    for (std::uint32_t v = 1; v < n; ++v) {
+      if (from_w.value[v] == M::unreachable()) continue;
+      const double cand = M::combine(first_value, from_w.value[v]);
+      if (table.fp[v].empty() || M::better(cand, table.best[v])) {
+        table.best[v] = cand;
+        table.fp[v].assign(1, w);
+      } else if (metric_equal(cand, table.best[v])) {
+        table.fp[v].push_back(w);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace qolsr

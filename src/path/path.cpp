@@ -1,0 +1,18 @@
+#include "path/path.hpp"
+
+#include <algorithm>
+
+namespace qolsr {
+
+bool is_simple_path(const Graph& graph, const Path& path) {
+  if (path.empty()) return false;
+  std::vector<NodeId> seen(path);
+  std::sort(seen.begin(), seen.end());
+  if (std::adjacent_find(seen.begin(), seen.end()) != seen.end())
+    return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (!graph.has_edge(path[i], path[i + 1])) return false;
+  return true;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/node_id.hpp"
+#include "metrics/metric.hpp"
+
+namespace qolsr {
+
+/// A path is the node sequence x0 x1 … xn (paper §III-A). An empty vector
+/// means "no path".
+using Path = std::vector<NodeId>;
+
+/// True when consecutive nodes are linked in `graph` and no node repeats.
+bool is_simple_path(const Graph& graph, const Path& path);
+
+/// Path value under metric M: Σ for additive metrics, min for concave ones.
+/// A single-node path has value M::identity(); a missing link makes the
+/// value M::unreachable().
+template <Metric M>
+double evaluate_path(const Graph& graph, const Path& path) {
+  if (path.empty()) return M::unreachable();
+  double value = M::identity();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const LinkQos* qos = graph.edge_qos(path[i], path[i + 1]);
+    if (qos == nullptr) return M::unreachable();
+    value = M::combine(value, M::link_value(*qos));
+  }
+  return value;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,28 @@
+#include "proto/duplicate_set.hpp"
+
+namespace qolsr {
+
+bool DuplicateSet::check_and_insert(NodeId originator, std::uint16_t sequence,
+                                    double now) {
+  const std::uint64_t k = key(originator, sequence);
+  auto [it, inserted] = entries_.try_emplace(k, now + hold_time_);
+  if (inserted) return true;
+  if (it->second < now) {
+    // Expired entry: the sequence space wrapped; treat as new.
+    it->second = now + hold_time_;
+    return true;
+  }
+  return false;
+}
+
+void DuplicateSet::expire(double now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second < now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace qolsr

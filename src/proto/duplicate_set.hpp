@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/node_id.hpp"
+
+namespace qolsr {
+
+/// RFC 3626 duplicate set: remembers (originator, sequence) pairs of
+/// flooded messages so each node processes and retransmits a message at
+/// most once. Entries expire after `hold_time` simulated seconds.
+class DuplicateSet {
+ public:
+  explicit DuplicateSet(double hold_time = 30.0) : hold_time_(hold_time) {}
+
+  /// True when the message is new; records it either way.
+  bool check_and_insert(NodeId originator, std::uint16_t sequence,
+                        double now);
+
+  /// Drops expired entries. Called opportunistically.
+  void expire(double now);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  static std::uint64_t key(NodeId originator, std::uint16_t sequence) {
+    return (static_cast<std::uint64_t>(originator) << 16) | sequence;
+  }
+
+  double hold_time_;
+  std::unordered_map<std::uint64_t, double> entries_;  // key -> expiry
+};
+
+}  // namespace qolsr

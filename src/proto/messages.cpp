@@ -1,0 +1,213 @@
+#include "proto/messages.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace qolsr {
+
+namespace {
+
+/// Little-endian byte writer.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& in) : in_(in) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ >= in_.size()) return false;
+    v = static_cast<std::uint8_t>(in_[pos_++]);
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t lo = 0, hi = 0;
+    if (!u8(lo) || !u8(hi)) return false;
+    v = static_cast<std::uint16_t>(lo | (hi << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t lo = 0, hi = 0;
+    if (!u16(lo) || !u16(hi)) return false;
+    v = static_cast<std::uint32_t>(lo) |
+        (static_cast<std::uint32_t>(hi) << 16);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    std::uint32_t lo = 0, hi = 0;
+    if (!u32(lo) || !u32(hi)) return false;
+    v = static_cast<std::uint64_t>(lo) |
+        (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool done() const { return pos_ == in_.size(); }
+
+ private:
+  const std::vector<std::byte>& in_;
+  std::size_t pos_ = 0;
+};
+
+void write_header(Writer& w, const PacketHeader& h) {
+  w.u8(static_cast<std::uint8_t>(h.type));
+  w.u32(h.originator);
+  w.u16(h.sequence);
+  w.u8(h.ttl);
+  w.u8(h.hop_count);
+}
+
+bool read_header(Reader& r, PacketHeader& h) {
+  std::uint8_t type = 0;
+  if (!r.u8(type) || !r.u32(h.originator) || !r.u16(h.sequence) ||
+      !r.u8(h.ttl) || !r.u8(h.hop_count))
+    return false;
+  if (type != static_cast<std::uint8_t>(MessageType::kHello) &&
+      type != static_cast<std::uint8_t>(MessageType::kTc) &&
+      type != static_cast<std::uint8_t>(MessageType::kData))
+    return false;
+  h.type = static_cast<MessageType>(type);
+  return true;
+}
+
+void write_advert(Writer& w, const LinkAdvert& a) {
+  w.u32(a.neighbor);
+  w.u8(static_cast<std::uint8_t>(a.status));
+  w.f64(a.qos.bandwidth);
+  w.f64(a.qos.delay);
+  w.f64(a.qos.jitter);
+  w.f64(a.qos.loss_cost);
+  w.f64(a.qos.energy);
+  w.f64(a.qos.buffers);
+}
+
+bool read_advert(Reader& r, LinkAdvert& a) {
+  std::uint8_t status = 0;
+  if (!r.u32(a.neighbor) || !r.u8(status) || !r.f64(a.qos.bandwidth) ||
+      !r.f64(a.qos.delay) || !r.f64(a.qos.jitter) ||
+      !r.f64(a.qos.loss_cost) || !r.f64(a.qos.energy) ||
+      !r.f64(a.qos.buffers))
+    return false;
+  if (status < static_cast<std::uint8_t>(LinkStatus::kAsymmetric) ||
+      status > static_cast<std::uint8_t>(LinkStatus::kMpr))
+    return false;
+  a.status = static_cast<LinkStatus>(status);
+  return true;
+}
+
+constexpr std::size_t kHeaderBytes = 1 + 4 + 2 + 1 + 1;
+constexpr std::size_t kAdvertBytes = 4 + 1 + 6 * 8;
+
+}  // namespace
+
+std::vector<std::byte> serialize(const PacketHeader& header,
+                                 const HelloMessage& hello) {
+  std::vector<std::byte> out;
+  out.reserve(kHeaderBytes + 5 + 2 + hello.links.size() * kAdvertBytes);
+  Writer w(out);
+  write_header(w, header);
+  w.u32(hello.originator);
+  w.u8(hello.willingness);
+  w.u16(static_cast<std::uint16_t>(hello.links.size()));
+  for (const LinkAdvert& a : hello.links) write_advert(w, a);
+  return out;
+}
+
+std::vector<std::byte> serialize(const PacketHeader& header,
+                                 const TcMessage& tc) {
+  std::vector<std::byte> out;
+  out.reserve(tc_wire_size(tc.advertised.size()));
+  Writer w(out);
+  write_header(w, header);
+  w.u32(tc.originator);
+  w.u16(tc.ansn);
+  w.u16(static_cast<std::uint16_t>(tc.advertised.size()));
+  for (const LinkAdvert& a : tc.advertised) write_advert(w, a);
+  return out;
+}
+
+std::vector<std::byte> serialize(const PacketHeader& header,
+                                 const DataMessage& data) {
+  std::vector<std::byte> out;
+  out.reserve(kHeaderBytes + 12);
+  Writer w(out);
+  write_header(w, header);
+  w.u32(data.source);
+  w.u32(data.destination);
+  w.u32(data.payload_id);
+  return out;
+}
+
+std::optional<ParsedPacket> parse_packet(const std::vector<std::byte>& bytes) {
+  Reader r(bytes);
+  ParsedPacket packet;
+  if (!read_header(r, packet.header)) return std::nullopt;
+  switch (packet.header.type) {
+    case MessageType::kHello: {
+      HelloMessage hello;
+      std::uint16_t count = 0;
+      if (!r.u32(hello.originator) || !r.u8(hello.willingness) ||
+          !r.u16(count))
+        return std::nullopt;
+      hello.links.resize(count);
+      for (LinkAdvert& a : hello.links)
+        if (!read_advert(r, a)) return std::nullopt;
+      if (!r.done()) return std::nullopt;
+      packet.hello = std::move(hello);
+      return packet;
+    }
+    case MessageType::kTc: {
+      TcMessage tc;
+      std::uint16_t count = 0;
+      if (!r.u32(tc.originator) || !r.u16(tc.ansn) || !r.u16(count))
+        return std::nullopt;
+      tc.advertised.resize(count);
+      for (LinkAdvert& a : tc.advertised)
+        if (!read_advert(r, a)) return std::nullopt;
+      if (!r.done()) return std::nullopt;
+      packet.tc = std::move(tc);
+      return packet;
+    }
+    case MessageType::kData: {
+      DataMessage data;
+      if (!r.u32(data.source) || !r.u32(data.destination) ||
+          !r.u32(data.payload_id))
+        return std::nullopt;
+      if (!r.done()) return std::nullopt;
+      packet.data = data;
+      return packet;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t tc_wire_size(std::size_t ans_size) {
+  return kHeaderBytes + 4 + 2 + 2 + ans_size * kAdvertBytes;
+}
+
+}  // namespace qolsr

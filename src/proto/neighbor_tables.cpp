@@ -1,0 +1,97 @@
+#include "proto/neighbor_tables.hpp"
+
+#include <algorithm>
+
+namespace qolsr {
+
+void NeighborTables::on_hello(const HelloMessage& hello, const LinkQos& qos,
+                              double now) {
+  LinkEntry& entry = links_[hello.originator];
+  entry.qos = qos;
+  entry.asym_until = now + hold_time_;
+  // Two-way handshake: the link is symmetric iff the sender lists us.
+  entry.selected_us_mpr = false;
+  bool lists_us = false;
+  for (const LinkAdvert& a : hello.links) {
+    if (a.neighbor != self_) continue;
+    lists_us = true;
+    if (a.status == LinkStatus::kMpr) entry.selected_us_mpr = true;
+  }
+  if (lists_us) entry.sym_until = now + hold_time_;
+  // The sender's full (symmetric) link table gives us the 2-hop view.
+  entry.advertised.clear();
+  for (const LinkAdvert& a : hello.links) {
+    if (a.status == LinkStatus::kAsymmetric) continue;  // not yet usable
+    entry.advertised.push_back(a);
+  }
+}
+
+void NeighborTables::expire(double now) {
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->second.asym_until < now) {
+      it = links_.erase(it);
+    } else {
+      if (it->second.sym_until < now) it->second.sym_until = -1.0;
+      ++it;
+    }
+  }
+}
+
+std::vector<NodeId> NeighborTables::symmetric_neighbors() const {
+  std::vector<NodeId> result;
+  for (const auto& [id, entry] : links_)
+    if (entry.sym_until >= 0.0) result.push_back(id);
+  return result;  // std::map iteration is already ascending
+}
+
+std::vector<NodeId> NeighborTables::heard_neighbors() const {
+  std::vector<NodeId> result;
+  result.reserve(links_.size());
+  for (const auto& [id, entry] : links_) {
+    (void)entry;
+    result.push_back(id);
+  }
+  return result;
+}
+
+bool NeighborTables::selected_us_as_mpr(NodeId neighbor) const {
+  auto it = links_.find(neighbor);
+  return it != links_.end() && it->second.sym_until >= 0.0 &&
+         it->second.selected_us_mpr;
+}
+
+bool NeighborTables::is_symmetric(NodeId neighbor) const {
+  auto it = links_.find(neighbor);
+  return it != links_.end() && it->second.sym_until >= 0.0;
+}
+
+const LinkQos* NeighborTables::link_qos(NodeId neighbor) const {
+  auto it = links_.find(neighbor);
+  if (it == links_.end()) return nullptr;
+  return &it->second.qos;
+}
+
+std::vector<NodeId> NeighborTables::mpr_selectors() const {
+  std::vector<NodeId> result;
+  for (const auto& [id, entry] : links_)
+    if (entry.sym_until >= 0.0 && entry.selected_us_mpr)
+      result.push_back(id);
+  return result;
+}
+
+LocalView NeighborTables::build_local_view() const {
+  std::vector<LocalView::NeighborLink> one_hop;
+  std::vector<std::vector<LocalView::NeighborLink>> neighbor_links;
+  for (const auto& [id, entry] : links_) {
+    if (entry.sym_until < 0.0) continue;
+    one_hop.push_back({id, entry.qos});
+    std::vector<LocalView::NeighborLink> advertised;
+    advertised.reserve(entry.advertised.size());
+    for (const LinkAdvert& a : entry.advertised)
+      advertised.push_back({a.neighbor, a.qos});
+    neighbor_links.push_back(std::move(advertised));
+  }
+  return LocalView(self_, one_hop, neighbor_links);
+}
+
+}  // namespace qolsr

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/local_view.hpp"
+#include "graph/node_id.hpp"
+#include "proto/messages.hpp"
+
+namespace qolsr {
+
+/// HELLO-derived neighbor state of one node: the link set (with the RFC
+/// 3626 two-way handshake), each symmetric neighbor's own advertised link
+/// table (giving the 2-hop view), and who selected us as MPR.
+///
+/// Timers are simulated seconds; an entry not refreshed within `hold_time`
+/// vanishes, so a dead link heals out of the tables automatically.
+class NeighborTables {
+ public:
+  explicit NeighborTables(NodeId self, double hold_time = 6.0)
+      : self_(self), hold_time_(hold_time) {}
+
+  /// Processes a received HELLO. `qos` is the measured QoS of the link the
+  /// HELLO arrived on (link measurement is out of the paper's scope; the
+  /// simulator supplies the ground-truth value).
+  void on_hello(const HelloMessage& hello, const LinkQos& qos, double now);
+
+  /// Drops expired links / neighbor tables / selector entries.
+  void expire(double now);
+
+  /// Symmetric neighbors, ascending id.
+  std::vector<NodeId> symmetric_neighbors() const;
+
+  /// Every neighbor with a live (possibly still asymmetric) link entry,
+  /// ascending id — what a HELLO must list for the two-way handshake.
+  std::vector<NodeId> heard_neighbors() const;
+
+  /// True when `neighbor` advertises us as its MPR — i.e. we must forward
+  /// its floods (and it belongs to our MPR-selector set).
+  bool selected_us_as_mpr(NodeId neighbor) const;
+
+  /// True when the two-way handshake with `neighbor` completed.
+  bool is_symmetric(NodeId neighbor) const;
+
+  /// QoS of the (symmetric) link to `neighbor`; nullptr when unknown.
+  const LinkQos* link_qos(NodeId neighbor) const;
+
+  /// Nodes that advertise us as their MPR (our MPR-selector set — what
+  /// original OLSR would advertise in TCs).
+  std::vector<NodeId> mpr_selectors() const;
+
+  /// Builds the local view G_self from the HELLO state: our symmetric
+  /// links plus every symmetric neighbor's advertised links.
+  LocalView build_local_view() const;
+
+ private:
+  struct LinkEntry {
+    LinkQos qos;
+    double sym_until = -1.0;   ///< symmetric while now < sym_until
+    double asym_until = -1.0;  ///< heard-from while now < asym_until
+    bool selected_us_mpr = false;
+    std::vector<LinkAdvert> advertised;  ///< neighbor's own link table
+  };
+
+  NodeId self_;
+  double hold_time_;
+  std::map<NodeId, LinkEntry> links_;  // ordered => deterministic iteration
+};
+
+}  // namespace qolsr

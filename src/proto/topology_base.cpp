@@ -1,0 +1,50 @@
+#include "proto/topology_base.hpp"
+
+namespace qolsr {
+
+bool TopologyBase::on_tc(const TcMessage& tc, double now) {
+  auto it = entries_.find(tc.originator);
+  if (it != entries_.end() && it->second.expires >= now &&
+      !newer(tc.ansn, it->second.ansn) && tc.ansn != it->second.ansn) {
+    return false;  // stale
+  }
+  Entry& entry = entries_[tc.originator];
+  entry.ansn = tc.ansn;
+  entry.expires = now + hold_time_;
+  entry.advertised = tc.advertised;
+  return true;
+}
+
+void TopologyBase::expire(double now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires < now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Graph TopologyBase::to_graph(std::size_t node_count) const {
+  Graph graph(node_count);
+  for (const auto& [originator, entry] : entries_) {
+    if (originator >= node_count) continue;
+    for (const LinkAdvert& a : entry.advertised) {
+      if (a.neighbor >= node_count) continue;
+      if (!graph.has_edge(originator, a.neighbor))
+        graph.add_edge(originator, a.neighbor, a.qos);
+    }
+  }
+  return graph;
+}
+
+std::vector<NodeId> TopologyBase::advertised_of(NodeId originator) const {
+  std::vector<NodeId> result;
+  auto it = entries_.find(originator);
+  if (it == entries_.end()) return result;
+  for (const LinkAdvert& a : it->second.advertised)
+    result.push_back(a.neighbor);
+  return result;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/node_id.hpp"
+#include "proto/messages.hpp"
+
+namespace qolsr {
+
+/// RFC 3626 topology information base: what a node has learned from TC
+/// floods. Keyed by originator; a newer ANSN replaces the stale advert,
+/// and entries expire when not refreshed.
+class TopologyBase {
+ public:
+  explicit TopologyBase(double hold_time = 15.0) : hold_time_(hold_time) {}
+
+  /// Processes a TC. Returns false when the TC is stale (older ANSN than
+  /// what we hold) and was ignored.
+  bool on_tc(const TcMessage& tc, double now);
+
+  void expire(double now);
+
+  /// All live advertised links, as an undirected QoS graph over
+  /// `node_count` nodes — the knowledge a routing-table computation merges
+  /// with the local view.
+  Graph to_graph(std::size_t node_count) const;
+
+  /// Live advertised set of one originator (empty when unknown).
+  std::vector<NodeId> advertised_of(NodeId originator) const;
+
+  std::size_t originator_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint16_t ansn = 0;
+    double expires = 0.0;
+    std::vector<LinkAdvert> advertised;
+  };
+
+  /// ANSN comparison with wrap-around (RFC 3626 §9.2 semantics).
+  static bool newer(std::uint16_t a, std::uint16_t b) {
+    return static_cast<std::uint16_t>(a - b) < 0x8000 && a != b;
+  }
+
+  double hold_time_;
+  std::map<NodeId, Entry> entries_;
+};
+
+}  // namespace qolsr

@@ -1,0 +1,43 @@
+#include "routing/advertised_topology.hpp"
+
+#include <cassert>
+
+namespace qolsr {
+
+Graph build_advertised_topology(
+    const Graph& full, const std::vector<std::vector<NodeId>>& ans_per_node) {
+  assert(ans_per_node.size() == full.node_count());
+  Graph advertised(full.node_count());
+  for (NodeId u = 0; u < full.node_count(); ++u) {
+    advertised.set_position(u, full.position(u));
+    for (NodeId w : ans_per_node[u]) {
+      if (advertised.has_edge(u, w)) continue;  // already advertised by w
+      const LinkQos* qos = full.edge_qos(u, w);
+      assert(qos != nullptr && "ANS member must be a 1-hop neighbor");
+      if (qos != nullptr) advertised.add_edge(u, w, *qos);
+    }
+  }
+  return advertised;
+}
+
+void merge_local_view(Graph& base, const LocalView& view) {
+  for (std::uint32_t a = 0; a < view.size(); ++a) {
+    const NodeId ga = view.global_id(a);
+    for (const LocalView::LocalEdge& e : view.neighbors(a)) {
+      if (e.to <= a) continue;  // each undirected link once
+      const NodeId gb = view.global_id(e.to);
+      if (!base.has_edge(ga, gb)) base.add_edge(ga, gb, e.qos);
+    }
+  }
+}
+
+double average_set_size(
+    const std::vector<std::vector<NodeId>>& ans_per_node) {
+  if (ans_per_node.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& set : ans_per_node) total += set.size();
+  return static_cast<double>(total) /
+         static_cast<double>(ans_per_node.size());
+}
+
+}  // namespace qolsr

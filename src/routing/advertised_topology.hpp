@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/local_view.hpp"
+#include "graph/node_id.hpp"
+
+namespace qolsr {
+
+/// Assembles the network-wide routable topology from every node's
+/// advertised set: node u announces its ANS in TC messages, so the link
+/// (u,w) becomes known to all nodes for every w ∈ ANS(u). Links are
+/// bidirectional (paper §III-A), hence the union is kept undirected.
+///
+/// `ans_per_node[u]` is the advertised set of node u (global ids). The
+/// result has the same node set as `full`; each advertised link carries its
+/// QoS record from `full`.
+Graph build_advertised_topology(
+    const Graph& full, const std::vector<std::vector<NodeId>>& ans_per_node);
+
+/// Adds every link of `view` that `base` is missing (u's private HELLO
+/// knowledge on top of the TC-advertised topology). Used to build the
+/// knowledge graph a node actually routes on.
+void merge_local_view(Graph& base, const LocalView& view);
+
+/// Average advertised-set size — the y-axis of the paper's Figs. 6 and 7.
+double average_set_size(const std::vector<std::vector<NodeId>>& ans_per_node);
+
+}  // namespace qolsr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/node_id.hpp"
+
+namespace qolsr {
+
+/// Minimal directed graph with the same neighbors()/QoS interface as
+/// `Graph`, so the generic Dijkstra runs on it unchanged. Used for the
+/// ANS-chain routing model, where the usable out-edges of a node are its
+/// *own* advertised neighbors (paper §I: "sends it to one of its MPRs
+/// which will relay it to one of its MPRs and so on").
+class DirectedGraph {
+ public:
+  DirectedGraph() = default;
+  explicit DirectedGraph(std::size_t n) : out_(n) {}
+
+  /// Adds the directed edge from→to; duplicate inserts are ignored.
+  void add_edge(NodeId from, NodeId to, const LinkQos& qos) {
+    auto& list = out_[from];
+    auto it = std::lower_bound(
+        list.begin(), list.end(), to,
+        [](const Edge& lhs, NodeId id) { return lhs.to < id; });
+    if (it != list.end() && it->to == to) return;
+    list.insert(it, Edge{to, qos});
+  }
+
+  bool has_edge(NodeId from, NodeId to) const {
+    const auto& list = out_[from];
+    auto it = std::lower_bound(
+        list.begin(), list.end(), to,
+        [](const Edge& lhs, NodeId id) { return lhs.to < id; });
+    return it != list.end() && it->to == to;
+  }
+
+  std::span<const Edge> neighbors(NodeId v) const { return out_[v]; }
+  std::size_t node_count() const { return out_.size(); }
+
+ private:
+  std::vector<std::vector<Edge>> out_;
+};
+
+}  // namespace qolsr

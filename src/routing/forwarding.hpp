@@ -1,0 +1,235 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/local_view.hpp"
+#include "metrics/metric.hpp"
+#include "path/path.hpp"
+#include "routing/advertised_topology.hpp"
+#include "routing/directed.hpp"
+#include "routing/routing_table.hpp"
+
+namespace qolsr {
+
+/// Why a forwarding attempt ended.
+enum class ForwardingStatus {
+  kDelivered,
+  kNoRoute,    ///< some hop had no path to the destination
+  kLoop,       ///< a node was visited twice
+  kHopLimit,   ///< safety cap exceeded
+};
+
+struct ForwardingResult {
+  ForwardingStatus status = ForwardingStatus::kNoRoute;
+  Path path;           ///< nodes traversed, starting at the source
+  double value = 0.0;  ///< metric value of the traversed path (full graph)
+
+  bool delivered() const { return status == ForwardingStatus::kDelivered; }
+};
+
+struct ForwardingOptions {
+  /// When true, each hop merges its full HELLO-derived 2-hop view into its
+  /// knowledge graph. That looks more informed but is *inconsistent*:
+  /// different hops see different graphs, and a downstream node can prefer
+  /// a "better" path leading straight back (observed on the paper's Fig. 1
+  /// under QOLSR: v2 sees a width-7 path back through v1 that v1 cannot
+  /// see, and the packet ping-pongs). The default routes every hop on
+  /// `advertised ∪ own incident links`, which is loop-free: the suffix of
+  /// any chosen plan is advertised-only, hence visible to the next hop, so
+  /// the lexicographic (value, hops) potential strictly improves per hop.
+  bool use_local_views = false;
+  /// Hard cap; 0 means `4 * node_count` (generous — any real route is far
+  /// shorter, and loops are caught by the visited set anyway).
+  std::size_t max_hops = 0;
+  /// Route with original OLSR's hop-count-primary discipline (fewest hops,
+  /// QoS as tie-break) instead of QoS-first. The QOLSR baseline forwards
+  /// this way — it "maintains shortest paths in terms of number of hops"
+  /// (paper §II) — which is precisely why it strays from the QoS optimum.
+  bool min_hop_routing = false;
+};
+
+/// Hop-by-hop forwarding of one packet, the paper's routing model: every
+/// traversed node independently computes its QoS next hop toward the
+/// destination on *its* knowledge graph (TC-advertised topology + what it
+/// learned from HELLOs) and hands the packet over. The traversed path and
+/// its QoS value on the real graph are returned — `value` is the b (resp.
+/// d) compared against the centralized optimum b* (resp. d*) in Figs. 8/9.
+template <Metric M>
+ForwardingResult forward_packet(const Graph& full, const Graph& advertised,
+                                NodeId source, NodeId destination,
+                                const ForwardingOptions& options = {}) {
+  ForwardingResult result;
+  result.path.push_back(source);
+  if (source == destination) {
+    result.status = ForwardingStatus::kDelivered;
+    result.value = M::identity();
+    return result;
+  }
+
+  const std::size_t cap =
+      options.max_hops > 0 ? options.max_hops : 4 * full.node_count();
+  std::vector<bool> visited(full.node_count(), false);
+  visited[source] = true;
+
+  NodeId current = source;
+  while (result.path.size() <= cap) {
+    // The knowledge graph of `current`: advertised topology plus whatever
+    // HELLO exchange taught it about its own neighborhood.
+    Graph knowledge = advertised;
+    if (options.use_local_views) {
+      merge_local_view(knowledge, LocalView(full, current));
+    } else {
+      for (const Edge& e : full.neighbors(current))
+        if (!knowledge.has_edge(current, e.to))
+          knowledge.add_edge(current, e.to, e.qos);
+    }
+
+    const NodeId next =
+        options.min_hop_routing
+            ? compute_min_hop_next_hop<M>(knowledge, current, destination)
+            : compute_next_hop<M>(knowledge, current, destination);
+    if (next == kInvalidNode) {
+      result.status = ForwardingStatus::kNoRoute;
+      return result;
+    }
+    result.path.push_back(next);
+    if (next == destination) {
+      result.status = ForwardingStatus::kDelivered;
+      result.value = evaluate_path<M>(full, result.path);
+      return result;
+    }
+    if (visited[next]) {
+      result.status = ForwardingStatus::kLoop;
+      return result;
+    }
+    visited[next] = true;
+    current = next;
+  }
+  result.status = ForwardingStatus::kHopLimit;
+  return result;
+}
+
+/// Hop-by-hop forwarding in the **ANS-chain model** — the OLSR forwarding
+/// rule as the paper states it (§I): "a node wanting to send a packet
+/// sends it to one of its MPRs which will relay it to one of its MPRs and
+/// so on". The usable relay edges are *directed*: x may hand the packet to
+/// w only when w ∈ ANS(x). Two standard completions: any node holding a
+/// packet for a direct neighbor delivers it (modelled as each hop's own
+/// out-edges to its neighbors, usable as the immediate hop only), and any
+/// *advertised* link into the destination serves as a final hop (the
+/// planner knows that link from TCs; the node at its far end delivers
+/// across it).
+///
+/// This is the model under which the selection heuristics actually differ
+/// in route quality: QOLSR's per-target-optimal 2-hop relays compose badly
+/// over long routes, while FNBP's chains were built to compose. It is also
+/// where the Fig.-4 loop-fix is load-bearing — without it the directed
+/// chains can dead-end behind a bottleneck link.
+///
+/// Loop-freedom: all hops plan on the same directed base D (their private
+/// out-edges appear only as the first hop of their own plan, so the plan
+/// suffix is always visible downstream), and the next hop is exact
+/// lexicographic (value, hops); the potential argument of
+/// `compute_next_hop` applies unchanged.
+template <Metric M>
+ForwardingResult forward_via_ans(
+    const Graph& full, const std::vector<std::vector<NodeId>>& ans_per_node,
+    NodeId source, NodeId destination,
+    const ForwardingOptions& options = {}) {
+  ForwardingResult result;
+  result.path.push_back(source);
+  if (source == destination) {
+    result.status = ForwardingStatus::kDelivered;
+    result.value = M::identity();
+    return result;
+  }
+
+  // Directed relay base: x → w for w ∈ ANS(x), plus advertised final hops
+  // into the destination.
+  DirectedGraph base(full.node_count());
+  for (NodeId x = 0; x < full.node_count(); ++x) {
+    for (NodeId w : ans_per_node[x]) {
+      const LinkQos* qos = full.edge_qos(x, w);
+      if (qos == nullptr) continue;
+      base.add_edge(x, w, *qos);
+      if (w == destination) continue;
+      // The undirected advertised link {x,w} is known network-wide; if one
+      // end is the destination, the other end can complete the delivery.
+      if (x == destination) base.add_edge(w, x, *qos);
+    }
+  }
+
+  const std::size_t cap =
+      options.max_hops > 0 ? options.max_hops : 4 * full.node_count();
+  std::vector<bool> visited(full.node_count(), false);
+  visited[source] = true;
+
+  NodeId current = source;
+  while (result.path.size() <= cap) {
+    // This hop's own links, usable as its immediate next hop.
+    DirectedGraph knowledge = base;
+    for (const Edge& e : full.neighbors(current))
+      knowledge.add_edge(current, e.to, e.qos);
+
+    const NodeId next =
+        options.min_hop_routing
+            ? compute_min_hop_next_hop<M, DirectedGraph>(knowledge, current,
+                                                         destination)
+            : compute_next_hop<M, DirectedGraph>(knowledge, current,
+                                                 destination);
+    if (next == kInvalidNode) {
+      result.status = ForwardingStatus::kNoRoute;
+      return result;
+    }
+    result.path.push_back(next);
+    if (next == destination) {
+      result.status = ForwardingStatus::kDelivered;
+      result.value = evaluate_path<M>(full, result.path);
+      return result;
+    }
+    if (visited[next]) {
+      result.status = ForwardingStatus::kLoop;
+      return result;
+    }
+    visited[next] = true;
+    current = next;
+  }
+  result.status = ForwardingStatus::kHopLimit;
+  return result;
+}
+
+/// Source-route alternative: the whole path is fixed at the source from its
+/// knowledge graph. Used by tests/benches to compare against hop-by-hop.
+template <Metric M>
+ForwardingResult source_route_packet(const Graph& full,
+                                     const Graph& advertised, NodeId source,
+                                     NodeId destination,
+                                     const ForwardingOptions& options = {}) {
+  Graph knowledge = advertised;
+  if (options.use_local_views) {
+    merge_local_view(knowledge, LocalView(full, source));
+  } else {
+    for (const Edge& e : full.neighbors(source))
+      if (!knowledge.has_edge(source, e.to))
+        knowledge.add_edge(source, e.to, e.qos);
+  }
+  const DijkstraResult dist = options.min_hop_routing
+                                  ? dijkstra_min_hop<M>(knowledge, source)
+                                  : dijkstra<M>(knowledge, source);
+  ForwardingResult result;
+  const std::vector<std::uint32_t> path =
+      extract_path(dist, source, destination);
+  if (path.empty()) {
+    result.status = ForwardingStatus::kNoRoute;
+    result.path.push_back(source);
+    return result;
+  }
+  result.status = ForwardingStatus::kDelivered;
+  result.path.assign(path.begin(), path.end());
+  result.value = evaluate_path<M>(full, result.path);
+  return result;
+}
+
+}  // namespace qolsr

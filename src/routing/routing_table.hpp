@@ -1,0 +1,111 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "metrics/metric.hpp"
+#include "path/dijkstra.hpp"
+
+namespace qolsr {
+
+/// Per-node QoS routing table: next hop toward every destination, computed
+/// on the node's knowledge graph (TC-advertised topology merged with its
+/// own HELLO-derived local view), exactly like OLSR's hop-by-hop routing
+/// tables but with the QoS Dijkstra instead of hop count.
+struct RoutingTable {
+  NodeId self = kInvalidNode;
+  std::vector<NodeId> next_hop;  ///< kInvalidNode when unreachable
+  std::vector<double> value;     ///< best metric value toward each node
+  std::vector<std::uint32_t> hops;
+
+  bool reachable(NodeId dest) const {
+    return dest == self || next_hop[dest] != kInvalidNode;
+  }
+};
+
+/// Exact lexicographic (metric value, hop count) next hop from `self`
+/// toward `dest` on `knowledge`. Returns kInvalidNode when unreachable.
+///
+/// Additive metrics: the (value, hops) lex order is isotone under
+/// extension, so the tie-breaking Dijkstra is already exact. Concave
+/// metrics are not isotone (a wider prefix with more hops can produce the
+/// same bottleneck value), so Dijkstra alone returns *a* value-optimal
+/// path but not necessarily a hop-minimal one. Exactness matters: with a
+/// hop-minimal-among-optimal plan at every hop, the (value, hops) pair
+/// strictly improves along a forwarded packet (the plan's suffix is
+/// visible to the next node), which rules out forwarding loops. For
+/// concave metrics we therefore compute the optimal value V with Dijkstra
+/// and then BFS on the subgraph of links no worse than V — every path
+/// there has bottleneck exactly V, and BFS gives the fewest hops.
+template <Metric M, typename G = Graph>
+NodeId compute_next_hop(const G& knowledge, NodeId self, NodeId dest) {
+  if (self == dest) return kInvalidNode;
+  const DijkstraResult result = dijkstra<M>(knowledge, self);
+  if (result.value[dest] == M::unreachable()) return kInvalidNode;
+  if constexpr (M::kind == MetricKind::kAdditive) {
+    NodeId hop = dest;
+    while (result.parent[hop] != self) hop = result.parent[hop];
+    return hop;
+  } else {
+    // BFS over links whose value is not worse than the optimum V; FIFO
+    // order with ascending adjacency makes the parent choice deterministic.
+    const double optimum = result.value[dest];
+    std::vector<NodeId> parent(dijkstra_detail::graph_size(knowledge),
+                               kInvalidNode);
+    std::vector<NodeId> queue{self};
+    parent[self] = self;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId x = queue[head];
+      if (x == dest) break;
+      for (const auto& e : knowledge.neighbors(x)) {
+        if (parent[e.to] != kInvalidNode) continue;
+        if (M::better(optimum, M::link_value(e.qos))) continue;  // too weak
+        parent[e.to] = x;
+        queue.push_back(e.to);
+      }
+    }
+    if (parent[dest] == kInvalidNode) return kInvalidNode;  // defensive
+    NodeId hop = dest;
+    while (parent[hop] != self) hop = parent[hop];
+    return hop;
+  }
+}
+
+/// Hop-count-primary next hop: fewest hops, QoS as tie-break — original
+/// OLSR's routing discipline, used by the QOLSR baseline (see
+/// dijkstra_min_hop). Exact, and trivially loop-free hop-by-hop (the hop
+/// count to the destination strictly decreases).
+template <Metric M, typename G = Graph>
+NodeId compute_min_hop_next_hop(const G& knowledge, NodeId self,
+                                NodeId dest) {
+  if (self == dest) return kInvalidNode;
+  const DijkstraResult result = dijkstra_min_hop<M>(knowledge, self);
+  if (result.value[dest] == M::unreachable()) return kInvalidNode;
+  NodeId hop = dest;
+  while (result.parent[hop] != self) hop = result.parent[hop];
+  return hop;
+}
+
+/// Builds the routing table of `self` on `knowledge` under metric M.
+/// Values are exact; for concave metrics the hop counts (and therefore
+/// next hops among value ties) are best-effort — use `compute_next_hop`
+/// where exact lex optimality is required (hop-by-hop forwarding).
+template <Metric M>
+RoutingTable compute_routing_table(const Graph& knowledge, NodeId self) {
+  const DijkstraResult result = dijkstra<M>(knowledge, self);
+  RoutingTable table;
+  table.self = self;
+  table.value = result.value;
+  table.hops = result.hops;
+  table.next_hop.assign(knowledge.node_count(), kInvalidNode);
+  for (NodeId dest = 0; dest < knowledge.node_count(); ++dest) {
+    if (dest == self || result.parent[dest] == kInvalidNode) continue;
+    // Walk the parent chain back to the hop adjacent to self.
+    NodeId hop = dest;
+    while (result.parent[hop] != self) hop = result.parent[hop];
+    table.next_hop[dest] = hop;
+  }
+  return table;
+}
+
+}  // namespace qolsr

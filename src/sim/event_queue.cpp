@@ -1,0 +1,27 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace qolsr {
+
+void EventQueue::schedule_at(SimTime time, Callback callback) {
+  assert(time >= now_ && "cannot schedule into the past");
+  events_.push({time, next_sequence_++, std::move(callback)});
+}
+
+void EventQueue::run_until(SimTime horizon) {
+  while (!events_.empty() && events_.top().time <= horizon) {
+    // priority_queue::top is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle instead (shared ownership is cheap).
+    Event event{events_.top().time, events_.top().sequence,
+                events_.top().callback};
+    events_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+  }
+  now_ = horizon;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/node_id.hpp"
+#include "metrics/link_qos.hpp"
+#include "sim/event_queue.hpp"
+
+namespace qolsr {
+
+/// What a protocol node sees of the outside world: a clock, a scheduler,
+/// and an ideal MAC (paper §IV-A: "no interferences and no packet
+/// collisions"). Implemented by the Simulator; mocked in unit tests.
+class Medium {
+ public:
+  virtual ~Medium() = default;
+
+  virtual SimTime now() const = 0;
+  virtual void schedule_in(SimTime delay, std::function<void()> callback) = 0;
+
+  /// Delivers `bytes` to every node within radio range of `from` after the
+  /// propagation delay. Loss-free and collision-free.
+  virtual void broadcast(NodeId from, std::vector<std::byte> bytes) = 0;
+
+  /// Delivers to one in-range neighbor (data forwarding). Packets to
+  /// out-of-range nodes vanish (counted by the caller as drops).
+  virtual void unicast(NodeId from, NodeId to, std::vector<std::byte> bytes) = 0;
+
+  /// Ground-truth measured QoS of the link (a,b); nullptr when out of
+  /// range. Link-quality measurement is outside the paper's scope, so the
+  /// simulator hands nodes the true value.
+  virtual const LinkQos* measured_qos(NodeId a, NodeId b) const = 0;
+
+  virtual std::size_t node_count() const = 0;
+};
+
+}  // namespace qolsr

@@ -1,0 +1,236 @@
+#include "sim/olsr_node.hpp"
+
+#include <algorithm>
+
+#include "routing/advertised_topology.hpp"
+#include "util/log.hpp"
+
+namespace qolsr {
+
+OlsrNode::OlsrNode(NodeId id, Medium& medium, TraceStats& trace,
+                   const AnsSelector& flooding_selector,
+                   const AnsSelector& ans_selector, RouteFn route_fn,
+                   const NodeConfig& config, std::uint64_t seed)
+    : id_(id),
+      medium_(medium),
+      trace_(trace),
+      flooding_selector_(flooding_selector),
+      ans_selector_(ans_selector),
+      route_fn_(std::move(route_fn)),
+      config_(config),
+      rng_(seed ^ (0x517cc1b727220a95ULL * (id + 1))),
+      tables_(id, config.neighbor_hold),
+      topology_(config.topology_hold) {}
+
+void OlsrNode::start() {
+  medium_.schedule_in(rng_.uniform(0.0, config_.jitter),
+                      [this] { hello_tick(); });
+  // TCs start after one HELLO round so there is a neighborhood to advertise.
+  medium_.schedule_in(config_.hello_interval +
+                          rng_.uniform(0.0, config_.jitter),
+                      [this] { tc_tick(); });
+}
+
+std::vector<LinkAdvert> OlsrNode::build_hello_links() const {
+  std::vector<LinkAdvert> links;
+  // Every heard neighbor is listed: asymmetric entries complete the two-way
+  // handshake, symmetric ones carry the QoS table that builds neighbors'
+  // 2-hop views, and MPR status tells them to forward our floods.
+  for (NodeId neighbor : tables_.heard_neighbors()) {
+    const LinkQos* qos = tables_.link_qos(neighbor);
+    if (qos == nullptr) continue;
+    LinkStatus status = LinkStatus::kAsymmetric;
+    if (tables_.is_symmetric(neighbor)) {
+      status = std::binary_search(flooding_mpr_.begin(), flooding_mpr_.end(),
+                                  neighbor)
+                   ? LinkStatus::kMpr
+                   : LinkStatus::kSymmetric;
+    }
+    links.push_back({neighbor, status, *qos});
+  }
+  return links;
+}
+
+void OlsrNode::recompute_selection() {
+  const LocalView view = tables_.build_local_view();
+  flooding_mpr_ = flooding_selector_.select(view);
+  ans_ = ans_selector_.select(view);
+  if (ans_ != last_advertised_) {
+    ++ansn_;
+    last_advertised_ = ans_;
+  }
+}
+
+void OlsrNode::hello_tick() {
+  const double now = medium_.now();
+  tables_.expire(now);
+  recompute_selection();
+
+  HelloMessage hello;
+  hello.originator = id_;
+  hello.links = build_hello_links();
+  PacketHeader header;
+  header.type = MessageType::kHello;
+  header.originator = id_;
+  header.sequence = next_sequence_++;
+  header.ttl = 1;  // HELLOs are never forwarded
+  auto bytes = serialize(header, hello);
+  trace_.hello_sent += 1;
+  trace_.control_bytes += bytes.size();
+  medium_.broadcast(id_, std::move(bytes));
+
+  medium_.schedule_in(config_.hello_interval +
+                          rng_.uniform(0.0, config_.jitter),
+                      [this] { hello_tick(); });
+}
+
+void OlsrNode::tc_tick() {
+  const double now = medium_.now();
+  tables_.expire(now);
+  topology_.expire(now);
+  recompute_selection();
+
+  if (!ans_.empty()) {
+    TcMessage tc;
+    tc.originator = id_;
+    tc.ansn = ansn_;
+    for (NodeId neighbor : ans_) {
+      const LinkQos* qos = tables_.link_qos(neighbor);
+      if (qos == nullptr) continue;
+      tc.advertised.push_back({neighbor, LinkStatus::kSymmetric, *qos});
+    }
+    PacketHeader header;
+    header.type = MessageType::kTc;
+    header.originator = id_;
+    header.sequence = next_sequence_++;
+    header.ttl = config_.tc_ttl;
+    // Our own advertisement is part of the topology we route on.
+    topology_.on_tc(tc, now);
+    // Record our own flood so re-broadcasts that echo back are dropped.
+    duplicates_.check_and_insert(id_, header.sequence, now);
+    auto bytes = serialize(header, tc);
+    trace_.tc_originated += 1;
+    trace_.control_bytes += bytes.size();
+    medium_.broadcast(id_, std::move(bytes));
+  }
+
+  medium_.schedule_in(config_.tc_interval + rng_.uniform(0.0, config_.jitter),
+                      [this] { tc_tick(); });
+}
+
+void OlsrNode::on_receive(NodeId from, const std::vector<std::byte>& bytes) {
+  const auto packet = parse_packet(bytes);
+  if (!packet.has_value()) {
+    QOLSR_LOG(kWarn) << "node " << id_ << ": malformed packet from " << from;
+    return;
+  }
+  switch (packet->header.type) {
+    case MessageType::kHello:
+      handle_hello(*packet->hello, from);
+      break;
+    case MessageType::kTc:
+      handle_tc(packet->header, *packet->tc, from);
+      break;
+    case MessageType::kData:
+      handle_data(packet->header, *packet->data);
+      break;
+  }
+}
+
+void OlsrNode::handle_hello(const HelloMessage& hello, NodeId from) {
+  const LinkQos* qos = medium_.measured_qos(id_, from);
+  if (qos == nullptr) return;  // spurious reception
+  tables_.on_hello(hello, *qos, medium_.now());
+}
+
+void OlsrNode::handle_tc(const PacketHeader& header, const TcMessage& tc,
+                         NodeId from) {
+  const double now = medium_.now();
+  // Only process floods arriving over a symmetric link (RFC 3626 §9.5).
+  if (!tables_.is_symmetric(from)) return;
+  if (!duplicates_.check_and_insert(header.originator, header.sequence,
+                                    now)) {
+    trace_.tc_dropped_duplicate += 1;
+    return;
+  }
+  if (tc.originator != id_) topology_.on_tc(tc, now);
+
+  // Default MPR forwarding: retransmit iff the previous hop selected us as
+  // its MPR.
+  if (header.ttl <= 1) return;
+  if (!tables_.selected_us_as_mpr(from)) return;
+  PacketHeader forwarded = header;
+  forwarded.ttl -= 1;
+  forwarded.hop_count += 1;
+  auto bytes = serialize(forwarded, tc);
+  trace_.tc_forwarded += 1;
+  trace_.control_bytes += bytes.size();
+  medium_.broadcast(id_, std::move(bytes));
+}
+
+void OlsrNode::send_data(NodeId destination, std::uint32_t payload_id) {
+  PacketHeader header;
+  header.type = MessageType::kData;
+  header.originator = id_;
+  header.sequence = next_sequence_++;
+  header.ttl = config_.data_ttl;
+  DataMessage data;
+  data.source = id_;
+  data.destination = destination;
+  data.payload_id = payload_id;
+  trace_.data_sent += 1;
+  auto& journey = trace_.journeys[payload_id];
+  journey.source = id_;
+  journey.destination = destination;
+  journey.path = {id_};
+  forward_or_deliver(header, data);
+}
+
+void OlsrNode::handle_data(PacketHeader header, const DataMessage& data) {
+  auto it = trace_.journeys.find(data.payload_id);
+  if (it != trace_.journeys.end()) it->second.path.push_back(id_);
+  if (data.destination == id_) {
+    trace_.data_delivered += 1;
+    if (it != trace_.journeys.end()) it->second.delivered = true;
+    return;
+  }
+  if (header.ttl <= 1) {
+    trace_.data_dropped += 1;
+    return;
+  }
+  header.ttl -= 1;
+  header.hop_count += 1;
+  trace_.data_forwarded += 1;
+  forward_or_deliver(header, data);
+}
+
+void OlsrNode::forward_or_deliver(PacketHeader header,
+                                  const DataMessage& data) {
+  const Graph knowledge = knowledge_graph();
+  if (data.destination >= knowledge.node_count()) {
+    trace_.data_dropped += 1;
+    return;
+  }
+  const NodeId next = route_fn_(knowledge, id_, data.destination);
+  if (next == kInvalidNode) {
+    trace_.data_dropped += 1;
+    return;
+  }
+  medium_.unicast(id_, next, serialize(header, data));
+}
+
+Graph OlsrNode::knowledge_graph() const {
+  // TC-advertised topology plus our own symmetric links. Deliberately NOT
+  // the full 2-hop view: heterogeneous per-hop knowledge makes QoS
+  // hop-by-hop forwarding loop (see routing/forwarding.hpp).
+  Graph knowledge = topology_.to_graph(medium_.node_count());
+  for (NodeId neighbor : tables_.symmetric_neighbors()) {
+    const LinkQos* qos = tables_.link_qos(neighbor);
+    if (qos != nullptr && neighbor < knowledge.node_count() &&
+        !knowledge.has_edge(id_, neighbor))
+      knowledge.add_edge(id_, neighbor, *qos);
+  }
+  return knowledge;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "olsr/selector.hpp"
+#include "proto/duplicate_set.hpp"
+#include "proto/messages.hpp"
+#include "proto/neighbor_tables.hpp"
+#include "proto/topology_base.hpp"
+#include "routing/routing_table.hpp"
+#include "sim/medium.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace qolsr {
+
+/// Per-node protocol timing. Defaults follow RFC 3626 (HELLO every 2 s, TC
+/// every 5 s, validity ≈ 3 intervals); small deterministic jitter desyncs
+/// the nodes as the RFC prescribes.
+struct NodeConfig {
+  double hello_interval = 2.0;
+  double tc_interval = 5.0;
+  double jitter = 0.25;
+  double neighbor_hold = 6.0;
+  double topology_hold = 15.0;
+  std::uint8_t tc_ttl = 64;
+  std::uint8_t data_ttl = 64;
+};
+
+/// One OLSR/QOLSR node: HELLO link sensing, the two selection roles
+/// (flooding MPRs + advertised neighbor set), TC origination and
+/// MPR-forwarding, topology base, and QoS data forwarding.
+///
+/// The selection heuristics are plugged in, so the same state machine runs
+/// original OLSR (flooding set == ANS == RFC 3626 MPR), QOLSR (both ==
+/// MPR-2), or the split designs where the RFC MPR set floods while
+/// topology-filtering/FNBP pick what is advertised (paper §II–III).
+class OlsrNode {
+ public:
+  /// Computes the QoS next hop toward a destination on a knowledge graph —
+  /// bound to the metric by the simulator (e.g.
+  /// compute_next_hop<BandwidthMetric>). Returns kInvalidNode when the
+  /// destination is unreachable.
+  using RouteFn = std::function<NodeId(const Graph&, NodeId, NodeId)>;
+
+  OlsrNode(NodeId id, Medium& medium, TraceStats& trace,
+           const AnsSelector& flooding_selector,
+           const AnsSelector& ans_selector, RouteFn route_fn,
+           const NodeConfig& config, std::uint64_t seed);
+
+  /// Schedules the first HELLO and TC (with per-node jitter).
+  void start();
+
+  /// MAC upcall for any packet addressed to or overheard by this node.
+  void on_receive(NodeId from, const std::vector<std::byte>& bytes);
+
+  /// Injects one data packet to route toward `destination`.
+  void send_data(NodeId destination, std::uint32_t payload_id);
+
+  // -- Inspection (integration tests compare these against the oracle) --
+  NodeId id() const { return id_; }
+  const NeighborTables& tables() const { return tables_; }
+  const TopologyBase& topology() const { return topology_; }
+  const std::vector<NodeId>& flooding_mpr() const { return flooding_mpr_; }
+  const std::vector<NodeId>& ans() const { return ans_; }
+  /// Knowledge graph the node routes on: TC topology merged with its own
+  /// HELLO-derived local view.
+  Graph knowledge_graph() const;
+
+ private:
+  void hello_tick();
+  void tc_tick();
+  void recompute_selection();
+  std::vector<LinkAdvert> build_hello_links() const;
+  void handle_hello(const HelloMessage& hello, NodeId from);
+  void handle_tc(const PacketHeader& header, const TcMessage& tc,
+                 NodeId from);
+  void handle_data(PacketHeader header, const DataMessage& data);
+  void forward_or_deliver(PacketHeader header, const DataMessage& data);
+
+  NodeId id_;
+  Medium& medium_;
+  TraceStats& trace_;
+  const AnsSelector& flooding_selector_;
+  const AnsSelector& ans_selector_;
+  RouteFn route_fn_;
+  NodeConfig config_;
+  util::Rng rng_;
+
+  NeighborTables tables_;
+  TopologyBase topology_;
+  DuplicateSet duplicates_;
+  std::vector<NodeId> flooding_mpr_;
+  std::vector<NodeId> ans_;
+  std::uint16_t ansn_ = 0;
+  std::vector<NodeId> last_advertised_;
+  std::uint16_t next_sequence_ = 0;
+};
+
+}  // namespace qolsr

@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+namespace qolsr {
+
+Simulator::Simulator(Graph graph, const AnsSelector& flooding_selector,
+                     const AnsSelector& ans_selector,
+                     OlsrNode::RouteFn route_fn, SimConfig config)
+    : graph_(std::move(graph)), config_(config) {
+  nodes_.reserve(graph_.node_count());
+  for (NodeId id = 0; id < graph_.node_count(); ++id) {
+    nodes_.push_back(std::make_unique<OlsrNode>(
+        id, *this, trace_, flooding_selector, ans_selector, route_fn,
+        config_.node, config_.seed));
+    nodes_.back()->start();
+  }
+}
+
+void Simulator::broadcast(NodeId from, std::vector<std::byte> bytes) {
+  // Ideal MAC: every in-range node receives an intact copy after the
+  // propagation delay. The payload is shared (shared_ptr) so a broadcast
+  // to 35 neighbors doesn't copy the packet 35 times.
+  auto shared = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+  for (const Edge& e : graph_.neighbors(from)) {
+    const NodeId to = e.to;
+    queue_.schedule_in(config_.propagation_delay, [this, from, to, shared] {
+      nodes_[to]->on_receive(from, *shared);
+    });
+  }
+}
+
+void Simulator::unicast(NodeId from, NodeId to, std::vector<std::byte> bytes) {
+  if (!graph_.has_edge(from, to)) return;  // next hop out of range: lost
+  auto shared = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+  queue_.schedule_in(config_.propagation_delay, [this, from, to, shared] {
+    nodes_[to]->on_receive(from, *shared);
+  });
+}
+
+}  // namespace qolsr

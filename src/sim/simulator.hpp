@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/medium.hpp"
+#include "sim/olsr_node.hpp"
+#include "sim/trace.hpp"
+
+namespace qolsr {
+
+/// Simulation-wide configuration.
+struct SimConfig {
+  NodeConfig node{};
+  /// One-hop propagation + processing latency of the ideal MAC.
+  double propagation_delay = 0.001;
+  std::uint64_t seed = 1;
+};
+
+/// Whole-network discrete-event simulation of the OLSR control plane over
+/// an ideal MAC: the ground-truth topology is `graph` (positions define
+/// radio range; link QoS is what nodes "measure"), every node runs the
+/// plugged-in flooding + ANS selection heuristics, and data packets are
+/// routed hop-by-hop with the QoS routing function.
+///
+/// This is the distributed counterpart of the oracle evaluation path —
+/// integration tests assert that, once converged, each node's neighbor
+/// view, ANS and topology base equal the direct graph computations.
+class Simulator final : public Medium {
+ public:
+  Simulator(Graph graph, const AnsSelector& flooding_selector,
+            const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
+            SimConfig config = {});
+
+  /// Advances the simulation clock.
+  void run_until(SimTime horizon) { queue_.run_until(horizon); }
+
+  /// Convenience: runs long enough for HELLO handshakes, selection and one
+  /// full TC flood round to settle everywhere (3 TC intervals + slack).
+  void run_to_convergence() {
+    run_until(3.0 * config_.node.tc_interval + 4.0 * config_.node.hello_interval);
+  }
+
+  /// Failure injection: removes the radio link (u,v) from the ground-truth
+  /// topology. HELLOs stop crossing it, so both ends' neighbor entries
+  /// expire within the hold time and the control plane re-converges around
+  /// the failure. Returns false when no such link exists.
+  bool fail_link(NodeId u, NodeId v) { return graph_.remove_edge(u, v); }
+
+  OlsrNode& node(NodeId id) { return *nodes_[id]; }
+  const OlsrNode& node(NodeId id) const { return *nodes_[id]; }
+  const Graph& network() const { return graph_; }
+  const TraceStats& trace() const { return trace_; }
+  EventQueue& queue() { return queue_; }
+
+  // -- Medium --
+  SimTime now() const override { return queue_.now(); }
+  void schedule_in(SimTime delay, std::function<void()> callback) override {
+    queue_.schedule_in(delay, std::move(callback));
+  }
+  void broadcast(NodeId from, std::vector<std::byte> bytes) override;
+  void unicast(NodeId from, NodeId to, std::vector<std::byte> bytes) override;
+  const LinkQos* measured_qos(NodeId a, NodeId b) const override {
+    return graph_.edge_qos(a, b);
+  }
+  std::size_t node_count() const override { return graph_.node_count(); }
+
+ private:
+  Graph graph_;
+  SimConfig config_;
+  EventQueue queue_;
+  TraceStats trace_;
+  std::vector<std::unique_ptr<OlsrNode>> nodes_;
+};
+
+}  // namespace qolsr

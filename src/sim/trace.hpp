@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/node_id.hpp"
+
+namespace qolsr {
+
+/// Control- and data-plane counters collected by the simulator, shared by
+/// all nodes of one run. TC bytes are the quantity the paper's set-size
+/// figures proxy: each TC carries one advert per ANS member.
+struct TraceStats {
+  std::uint64_t hello_sent = 0;
+  std::uint64_t tc_originated = 0;
+  std::uint64_t tc_forwarded = 0;
+  std::uint64_t tc_dropped_duplicate = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_dropped = 0;
+
+  /// Journey of one data packet, keyed by payload id.
+  struct Journey {
+    NodeId source = kInvalidNode;
+    NodeId destination = kInvalidNode;
+    bool delivered = false;
+    std::vector<NodeId> path;  ///< nodes traversed, starting at the source
+  };
+  std::unordered_map<std::uint32_t, Journey> journeys;
+};
+
+}  // namespace qolsr

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace qolsr::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emit(LogLevel level, std::string_view message) {
+  if (level < log_threshold()) return;
+  std::clog << '[' << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace qolsr::util

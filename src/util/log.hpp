@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace qolsr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold. Messages below it are dropped. Defaults to
+/// kWarn so library users are not spammed; the simulator trace raises it
+/// explicitly when asked to.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}
+
+/// Minimal streaming logger: `LOG(kInfo) << "converged at " << t;`
+/// Evaluates the stream expression only when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace qolsr::util
+
+#define QOLSR_LOG(level)                                          \
+  if (::qolsr::util::LogLevel::level < ::qolsr::util::log_threshold()) { \
+  } else                                                          \
+    ::qolsr::util::LogLine(::qolsr::util::LogLevel::level)

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qolsr::util {
+
+/// Streaming accumulator for mean / variance / extrema (Welford's method).
+///
+/// Used throughout the evaluation harness to aggregate per-run measurements
+/// without storing every sample.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  /// Half-width of the ~95% normal confidence interval for the mean.
+  double ci95_halfwidth() const { return 1.959963984540054 * sem(); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics). `q` in [0,1]. The input is copied; for repeated quantiles
+/// sort once and use `quantile_sorted`.
+double quantile(std::vector<double> samples, double q);
+
+/// Quantile of an already ascending-sorted sample.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace qolsr::util

@@ -1,0 +1,81 @@
+#include "core/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qolsr {
+namespace {
+
+LinkQos qos(double bw, double d) {
+  LinkQos q;
+  q.bandwidth = bw;
+  q.delay = d;
+  return q;
+}
+
+/// Star around node 0 with three links of distinct QoS.
+Graph star() {
+  Graph g(4);
+  g.add_edge(0, 1, qos(5, 3));
+  g.add_edge(0, 2, qos(8, 7));
+  g.add_edge(0, 3, qos(5, 1));
+  return g;
+}
+
+TEST(PickBestLink, BandwidthPrefersWidestLink) {
+  const Graph g = star();
+  const LocalView view(g, 0);
+  std::vector<std::uint32_t> all{view.local_id(1), view.local_id(2),
+                                 view.local_id(3)};
+  const std::uint32_t best = pick_best_link<BandwidthMetric>(view, all);
+  EXPECT_EQ(view.global_id(best), 2u);  // bandwidth 8
+}
+
+TEST(PickBestLink, DelayPrefersFastestLink) {
+  const Graph g = star();
+  const LocalView view(g, 0);
+  std::vector<std::uint32_t> all{view.local_id(1), view.local_id(2),
+                                 view.local_id(3)};
+  const std::uint32_t best = pick_best_link<DelayMetric>(view, all);
+  EXPECT_EQ(view.global_id(best), 3u);  // delay 1
+}
+
+TEST(PickBestLink, TieBrokenBySmallestId) {
+  // Paper §III-A: equal link values order by identifier ("v1 ≺ v2 because
+  // v1 has a smaller identifier").
+  const Graph g = star();
+  const LocalView view(g, 0);
+  std::vector<std::uint32_t> tied{view.local_id(1), view.local_id(3)};
+  const std::uint32_t best = pick_best_link<BandwidthMetric>(view, tied);
+  EXPECT_EQ(view.global_id(best), 1u);  // both bandwidth 5; id 1 < 3
+}
+
+TEST(PickBestLink, OrderOfCandidatesIrrelevant) {
+  const Graph g = star();
+  const LocalView view(g, 0);
+  std::vector<std::uint32_t> fwd{view.local_id(1), view.local_id(2),
+                                 view.local_id(3)};
+  std::vector<std::uint32_t> rev{view.local_id(3), view.local_id(2),
+                                 view.local_id(1)};
+  EXPECT_EQ(pick_best_link<BandwidthMetric>(view, fwd),
+            pick_best_link<BandwidthMetric>(view, rev));
+  EXPECT_EQ(pick_best_link<DelayMetric>(view, fwd),
+            pick_best_link<DelayMetric>(view, rev));
+}
+
+TEST(PickBestLink, EmptyCandidates) {
+  const Graph g = star();
+  const LocalView view(g, 0);
+  EXPECT_EQ(pick_best_link<BandwidthMetric>(view, {}), kInvalidNode);
+}
+
+TEST(PickBestLink, SingleCandidate) {
+  const Graph g = star();
+  const LocalView view(g, 0);
+  std::vector<std::uint32_t> one{view.local_id(3)};
+  EXPECT_EQ(view.global_id(pick_best_link<DelayMetric>(view, one)), 3u);
+}
+
+}  // namespace
+}  // namespace qolsr

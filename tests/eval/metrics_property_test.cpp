@@ -1,0 +1,89 @@
+// Statistical shape checks on small sweeps: the qualitative relations the
+// paper's Figs. 6–9 report must already show up at reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/fnbp.hpp"
+#include "eval/runner.hpp"
+
+namespace qolsr {
+namespace {
+
+template <Metric M>
+std::vector<DensityStats> small_sweep(double density, std::size_t runs) {
+  Scenario s;
+  s.densities = {density};
+  s.runs = runs;
+  s.seed = 1234;
+  s.field.width = 500.0;
+  s.field.height = 500.0;
+  static const QolsrSelector<M> qolsr(QolsrVariant::kMpr2);
+  static const TopologyFilteringSelector<M> topo;
+  static const FnbpSelector<M> fnbp;
+  return run_sweep<M>(s, {&qolsr, &topo, &fnbp});
+}
+
+TEST(SweepShape, BandwidthSetSizesOrderedLikeFig6) {
+  const auto sweep = small_sweep<BandwidthMetric>(12.0, 12);
+  const auto& p = sweep[0].protocols;
+  const double qolsr = p[0].set_size.mean();
+  const double topo = p[1].set_size.mean();
+  const double fnbp = p[2].set_size.mean();
+  EXPECT_LT(fnbp, topo);
+  EXPECT_LT(topo, qolsr);
+}
+
+TEST(SweepShape, DelaySetSizesOrderedLikeFig7) {
+  // Under the delay metric FNBP and topology filtering are much closer
+  // than under bandwidth (additive path values rarely tie, so there is
+  // little "advertise all tied first hops" cost to save); we assert FNBP
+  // does not exceed topology filtering by more than noise, and both stay
+  // clearly below QOLSR. See EXPERIMENTS.md for the full discussion.
+  const auto sweep = small_sweep<DelayMetric>(12.0, 12);
+  const auto& p = sweep[0].protocols;
+  EXPECT_LE(p[2].set_size.mean(), p[1].set_size.mean() * 1.05);
+  EXPECT_LT(p[1].set_size.mean(), p[0].set_size.mean());
+  EXPECT_LT(p[2].set_size.mean(), p[0].set_size.mean());
+}
+
+TEST(SweepShape, FnbpOverheadNotWorseThanQolsrBandwidth) {
+  const auto sweep = small_sweep<BandwidthMetric>(12.0, 15);
+  const auto& p = sweep[0].protocols;
+  EXPECT_LE(p[2].overhead.mean(), p[0].overhead.mean() + 0.02);
+}
+
+TEST(SweepShape, FnbpOverheadNotWorseThanQolsrDelay) {
+  const auto sweep = small_sweep<DelayMetric>(12.0, 15);
+  const auto& p = sweep[0].protocols;
+  EXPECT_LE(p[2].overhead.mean(), p[0].overhead.mean() + 0.02);
+}
+
+TEST(SweepShape, DeliveryRateIsHighOnConnectedPairs) {
+  // With coarse integer weights the advertised topology of a QANS scheme
+  // can occasionally disconnect: huge bottleneck tie-plateaus let every
+  // node believe a small-id neighbor covers a target, while the loop-fix
+  // guard only repairs the 2-hop-adjacent case (the paper's Fig. 4). We
+  // keep the algorithms faithful, count the failures, and require the rate
+  // to stay marginal (see EXPERIMENTS.md).
+  for (const auto& sweep :
+       {small_sweep<BandwidthMetric>(10.0, 10),
+        small_sweep<BandwidthMetric>(16.0, 10)}) {
+    for (const ProtocolStats& p : sweep[0].protocols) {
+      EXPECT_GE(p.delivered, 9u) << p.name;  // ≥ 90% of 10 runs
+    }
+  }
+}
+
+TEST(SweepShape, FnbpSetSizeStaysFlatWithDensity) {
+  // Fig. 6 claim: FNBP's set size is ~constant in density while QOLSR's
+  // grows. Compare a sparse and a dense setting.
+  const auto sparse = small_sweep<BandwidthMetric>(8.0, 10);
+  const auto dense = small_sweep<BandwidthMetric>(20.0, 10);
+  const double fnbp_growth = dense[0].protocols[2].set_size.mean() -
+                             sparse[0].protocols[2].set_size.mean();
+  const double qolsr_growth = dense[0].protocols[0].set_size.mean() -
+                              sparse[0].protocols[0].set_size.mean();
+  EXPECT_LT(fnbp_growth, qolsr_growth);
+}
+
+}  // namespace
+}  // namespace qolsr

@@ -1,0 +1,58 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/random_graphs.hpp"
+
+namespace qolsr {
+namespace {
+
+TEST(Connectivity, SingleComponent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_TRUE(c.connected(0, 2));
+}
+
+TEST(Connectivity, TwoComponents) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_TRUE(c.connected(0, 1));
+  EXPECT_FALSE(c.connected(1, 2));
+  EXPECT_TRUE(is_connected(g, 2, 3));
+  EXPECT_FALSE(is_connected(g, 0, 3));
+}
+
+TEST(Connectivity, IsolatedNodesAreOwnComponents) {
+  Graph g(3);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+}
+
+TEST(Connectivity, LargestComponent) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);  // component of 3
+  g.add_edge(3, 4);  // component of 2
+  const auto largest = largest_component(g);
+  EXPECT_EQ(largest, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Connectivity, LabelsAreDenseAndConsistent) {
+  const Graph g = testing::random_geometric_graph(55, 4.0, 400.0);
+  const Components c = connected_components(g);
+  ASSERT_EQ(c.labels.size(), g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_LT(c.labels[u], c.count);
+    for (const Edge& e : g.neighbors(u))
+      EXPECT_EQ(c.labels[u], c.labels[e.to]);  // edges never cross components
+  }
+}
+
+}  // namespace
+}  // namespace qolsr

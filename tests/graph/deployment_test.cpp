@@ -1,0 +1,126 @@
+#include "graph/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace qolsr {
+namespace {
+
+TEST(DeploymentConfig, IntensityMatchesPaperFormula) {
+  DeploymentConfig c;
+  c.degree = 20.0;
+  c.radius = 100.0;
+  // λ = δ / (π R²), paper §IV-A footnote.
+  EXPECT_NEAR(c.intensity(), 20.0 / (std::numbers::pi * 1e4), 1e-12);
+  // Expected nodes in the 1000x1000 field: λ * area ≈ 636.6.
+  EXPECT_NEAR(c.expected_nodes(), 636.62, 0.01);
+}
+
+TEST(BuildUnitDisk, LinksIffWithinRadius) {
+  std::vector<Point> pos{{0, 0}, {50, 0}, {150, 0}, {0, 99.9}, {0, 100.2}};
+  const Graph g = build_unit_disk_graph(pos, 100.0);
+  EXPECT_TRUE(g.has_edge(0, 1));    // 50 apart
+  EXPECT_FALSE(g.has_edge(0, 2));   // 150 apart
+  EXPECT_TRUE(g.has_edge(1, 2));    // 100 apart == R counts (|uv| <= R)
+  EXPECT_TRUE(g.has_edge(0, 3));    // 99.9
+  EXPECT_FALSE(g.has_edge(0, 4));   // 100.2
+}
+
+TEST(BuildUnitDisk, EmptyPositions) {
+  const Graph g = build_unit_disk_graph({}, 100.0);
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+TEST(BuildUnitDisk, MatchesBruteForceOnRandomPoints) {
+  util::Rng rng(5);
+  std::vector<Point> pos;
+  for (int i = 0; i < 120; ++i)
+    pos.push_back({rng.uniform(0, 500), rng.uniform(0, 500)});
+  const Graph g = build_unit_disk_graph(pos, 100.0);
+  for (NodeId u = 0; u < pos.size(); ++u)
+    for (NodeId v = u + 1; v < pos.size(); ++v)
+      EXPECT_EQ(g.has_edge(u, v), within_radius(pos[u], pos[v], 100.0))
+          << u << "," << v;
+}
+
+TEST(PoissonDeployment, NodeCountNearExpectation) {
+  DeploymentConfig c;
+  c.degree = 15.0;
+  util::Rng rng(77);
+  util::RunningStats counts;
+  for (int i = 0; i < 30; ++i)
+    counts.add(static_cast<double>(
+        sample_poisson_deployment(c, rng).node_count()));
+  EXPECT_NEAR(counts.mean(), c.expected_nodes(), 0.1 * c.expected_nodes());
+}
+
+TEST(PoissonDeployment, InteriorDegreeNearDelta) {
+  // Mean degree of nodes away from the border should approach δ.
+  DeploymentConfig c;
+  c.degree = 12.0;
+  util::Rng rng(123);
+  util::RunningStats degrees;
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = sample_poisson_deployment(c, rng);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const Point p = g.position(v);
+      if (p.x < c.radius || p.y < c.radius || p.x > c.width - c.radius ||
+          p.y > c.height - c.radius)
+        continue;  // border effect halves coverage
+      degrees.add(static_cast<double>(g.degree(v)));
+    }
+  }
+  EXPECT_NEAR(degrees.mean(), 12.0, 1.0);
+}
+
+TEST(PoissonDeployment, PositionsInsideField) {
+  DeploymentConfig c;
+  c.degree = 10.0;
+  util::Rng rng(3);
+  const Graph g = sample_poisson_deployment(c, rng);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.position(v).x, 0.0);
+    EXPECT_LT(g.position(v).x, c.width);
+    EXPECT_GE(g.position(v).y, 0.0);
+    EXPECT_LT(g.position(v).y, c.height);
+  }
+}
+
+TEST(AssignUniformQos, ValuesInsideIntervals) {
+  util::Rng rng(9);
+  DeploymentConfig c;
+  c.degree = 10.0;
+  Graph g = sample_poisson_deployment(c, rng);
+  QosIntervals iv;
+  iv.bandwidth_lo = 2.0;
+  iv.bandwidth_hi = 3.0;
+  iv.delay_lo = 0.5;
+  iv.delay_hi = 0.6;
+  assign_uniform_qos(g, iv, rng);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const Edge& e : g.neighbors(u)) {
+      EXPECT_GE(e.qos.bandwidth, 2.0);
+      EXPECT_LT(e.qos.bandwidth, 3.0);
+      EXPECT_GE(e.qos.delay, 0.5);
+      EXPECT_LT(e.qos.delay, 0.6);
+    }
+  }
+}
+
+TEST(AssignUniformQos, SymmetricPerLink) {
+  util::Rng rng(11);
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  assign_uniform_qos(g, {}, rng);
+  EXPECT_EQ(g.edge_qos(0, 1)->bandwidth, g.edge_qos(1, 0)->bandwidth);
+  EXPECT_EQ(g.edge_qos(1, 2)->delay, g.edge_qos(2, 1)->delay);
+}
+
+}  // namespace
+}  // namespace qolsr

@@ -1,0 +1,87 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qolsr {
+namespace {
+
+LinkQos qos_bw(double b) {
+  LinkQos q;
+  q.bandwidth = b;
+  return q;
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  g.add_edge(0, 1, qos_bw(5));
+  g.add_edge(1, 2, qos_bw(7));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node({1.0, 2.0}), 1u);
+  EXPECT_EQ(g.position(1).x, 1.0);
+  EXPECT_EQ(g.position(1).y, 2.0);
+}
+
+TEST(Graph, EdgeQosSharedBothDirections) {
+  Graph g(2);
+  g.add_edge(0, 1, qos_bw(4));
+  ASSERT_NE(g.edge_qos(0, 1), nullptr);
+  ASSERT_NE(g.edge_qos(1, 0), nullptr);
+  EXPECT_EQ(g.edge_qos(0, 1)->bandwidth, 4.0);
+  EXPECT_EQ(g.edge_qos(1, 0)->bandwidth, 4.0);
+  EXPECT_EQ(g.edge_qos(0, 1)->bandwidth, g.edge_qos(1, 0)->bandwidth);
+}
+
+TEST(Graph, SetEdgeQosUpdatesBothDirections) {
+  Graph g(2);
+  g.add_edge(0, 1, qos_bw(4));
+  EXPECT_TRUE(g.set_edge_qos(1, 0, qos_bw(9)));
+  EXPECT_EQ(g.edge_qos(0, 1)->bandwidth, 9.0);
+  EXPECT_EQ(g.edge_qos(1, 0)->bandwidth, 9.0);
+}
+
+TEST(Graph, SetEdgeQosMissingEdgeFails) {
+  Graph g(3);
+  EXPECT_FALSE(g.set_edge_qos(0, 2, qos_bw(1)));
+}
+
+TEST(Graph, EdgeQosMissingReturnsNull) {
+  Graph g(2);
+  EXPECT_EQ(g.edge_qos(0, 1), nullptr);
+}
+
+TEST(Graph, NeighborsSortedById) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto n = g.neighbors(2);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0].to, 0u);
+  EXPECT_EQ(n[1].to, 3u);
+  EXPECT_EQ(n[2].to, 4u);
+}
+
+TEST(Graph, IsolatedNodeHasNoNeighbors) {
+  Graph g(2);
+  EXPECT_TRUE(g.neighbors(0).empty());
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+}  // namespace
+}  // namespace qolsr

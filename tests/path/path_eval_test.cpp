@@ -1,0 +1,108 @@
+#include "path/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/paper_graphs.hpp"
+
+namespace qolsr {
+namespace {
+
+using testing::Fig1;
+
+TEST(PathEval, BandwidthIsMinOverLinks) {
+  const Graph g = Fig1::build();
+  const Path p{Fig1::v1, Fig1::v2, Fig1::v3};
+  EXPECT_DOUBLE_EQ(evaluate_path<BandwidthMetric>(g, p), 6.0);
+  const Path wide{Fig1::v1, Fig1::v6, Fig1::v5, Fig1::v4, Fig1::v3};
+  EXPECT_DOUBLE_EQ(evaluate_path<BandwidthMetric>(g, wide), 10.0);
+}
+
+TEST(PathEval, DelayIsSumOverLinks) {
+  Graph g(3);
+  LinkQos a, b;
+  a.delay = 1.5;
+  b.delay = 2.5;
+  g.add_edge(0, 1, a);
+  g.add_edge(1, 2, b);
+  EXPECT_DOUBLE_EQ(evaluate_path<DelayMetric>(g, {0, 1, 2}), 4.0);
+}
+
+TEST(PathEval, SingleNodePathIsIdentity) {
+  const Graph g = Fig1::build();
+  EXPECT_EQ(evaluate_path<BandwidthMetric>(g, {Fig1::v1}),
+            BandwidthMetric::identity());
+  EXPECT_EQ(evaluate_path<DelayMetric>(g, {Fig1::v1}), 0.0);
+}
+
+TEST(PathEval, EmptyOrBrokenPathIsUnreachable) {
+  const Graph g = Fig1::build();
+  EXPECT_EQ(evaluate_path<BandwidthMetric>(g, {}),
+            BandwidthMetric::unreachable());
+  // v1 and v4 are not adjacent.
+  EXPECT_EQ(evaluate_path<BandwidthMetric>(g, {Fig1::v1, Fig1::v4}),
+            BandwidthMetric::unreachable());
+}
+
+TEST(IsSimplePath, DetectsRepeatsAndGaps) {
+  const Graph g = Fig1::build();
+  EXPECT_TRUE(is_simple_path(g, {Fig1::v1, Fig1::v2, Fig1::v3}));
+  EXPECT_FALSE(is_simple_path(g, {}));
+  EXPECT_FALSE(
+      is_simple_path(g, {Fig1::v1, Fig1::v2, Fig1::v1}));  // repeat
+  EXPECT_FALSE(is_simple_path(g, {Fig1::v1, Fig1::v4}));   // no such edge
+  EXPECT_TRUE(is_simple_path(g, {Fig1::v1}));              // trivial
+}
+
+TEST(MetricAlgebra, CombineAndBetter) {
+  EXPECT_DOUBLE_EQ(BandwidthMetric::combine(5.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(BandwidthMetric::combine(2.0, 7.0), 2.0);
+  EXPECT_TRUE(BandwidthMetric::better(5.0, 3.0));
+  EXPECT_FALSE(BandwidthMetric::better(3.0, 5.0));
+  EXPECT_FALSE(BandwidthMetric::better(3.0, 3.0));
+
+  EXPECT_DOUBLE_EQ(DelayMetric::combine(5.0, 3.0), 8.0);
+  EXPECT_TRUE(DelayMetric::better(3.0, 5.0));
+  EXPECT_FALSE(DelayMetric::better(5.0, 3.0));
+}
+
+TEST(MetricAlgebra, IdentityAndUnreachable) {
+  // combine(identity, x) == x for both families.
+  EXPECT_DOUBLE_EQ(BandwidthMetric::combine(BandwidthMetric::identity(), 4.0),
+                   4.0);
+  EXPECT_DOUBLE_EQ(DelayMetric::combine(DelayMetric::identity(), 4.0), 4.0);
+  // unreachable is worse than everything.
+  EXPECT_TRUE(BandwidthMetric::better(0.001, BandwidthMetric::unreachable()));
+  EXPECT_TRUE(DelayMetric::better(1e9, DelayMetric::unreachable()));
+}
+
+TEST(MetricAlgebra, ToleranceAbsorbsSummationOrder) {
+  // Two enumerations of the same additive path must compare equal.
+  const double a = (0.1 + 0.2) + 0.3;
+  const double b = 0.1 + (0.2 + 0.3);
+  EXPECT_TRUE(metric_equal(a, b));
+  EXPECT_FALSE(DelayMetric::better(a, b));
+  EXPECT_FALSE(DelayMetric::better(b, a));
+}
+
+TEST(MetricAlgebra, AllSixMetricsExtractTheirField) {
+  LinkQos q;
+  q.bandwidth = 1;
+  q.delay = 2;
+  q.jitter = 3;
+  q.loss_cost = 4;
+  q.energy = 5;
+  q.buffers = 6;
+  EXPECT_EQ(BandwidthMetric::link_value(q), 1.0);
+  EXPECT_EQ(DelayMetric::link_value(q), 2.0);
+  EXPECT_EQ(JitterMetric::link_value(q), 3.0);
+  EXPECT_EQ(LossMetric::link_value(q), 4.0);
+  EXPECT_EQ(EnergyMetric::link_value(q), 5.0);
+  EXPECT_EQ(BuffersMetric::link_value(q), 6.0);
+  // Families: buffers concave like bandwidth, the rest additive like delay.
+  EXPECT_EQ(BuffersMetric::kind, MetricKind::kConcave);
+  EXPECT_EQ(JitterMetric::kind, MetricKind::kAdditive);
+  EXPECT_EQ(EnergyMetric::kind, MetricKind::kAdditive);
+}
+
+}  // namespace
+}  // namespace qolsr

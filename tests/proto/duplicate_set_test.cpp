@@ -1,0 +1,47 @@
+#include "proto/duplicate_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qolsr {
+namespace {
+
+TEST(DuplicateSet, FirstSeenIsNew) {
+  DuplicateSet set(30.0);
+  EXPECT_TRUE(set.check_and_insert(1, 100, 0.0));
+  EXPECT_FALSE(set.check_and_insert(1, 100, 1.0));
+}
+
+TEST(DuplicateSet, DifferentOriginatorsIndependent) {
+  DuplicateSet set(30.0);
+  EXPECT_TRUE(set.check_and_insert(1, 100, 0.0));
+  EXPECT_TRUE(set.check_and_insert(2, 100, 0.0));
+  EXPECT_TRUE(set.check_and_insert(1, 101, 0.0));
+}
+
+TEST(DuplicateSet, EntriesExpireAfterHoldTime) {
+  DuplicateSet set(10.0);
+  EXPECT_TRUE(set.check_and_insert(1, 5, 0.0));
+  EXPECT_FALSE(set.check_and_insert(1, 5, 9.9));
+  // Past the hold time the sequence space may have wrapped: treat as new.
+  EXPECT_TRUE(set.check_and_insert(1, 5, 10.1));
+}
+
+TEST(DuplicateSet, ExpirePurgesStorage) {
+  DuplicateSet set(10.0);
+  set.check_and_insert(1, 1, 0.0);
+  set.check_and_insert(1, 2, 0.0);
+  set.check_and_insert(1, 3, 5.0);
+  EXPECT_EQ(set.size(), 3u);
+  set.expire(12.0);
+  EXPECT_EQ(set.size(), 1u);  // only the entry refreshed at t=5 survives
+}
+
+TEST(DuplicateSet, ReinsertAfterExpiryRefreshes) {
+  DuplicateSet set(10.0);
+  set.check_and_insert(7, 9, 0.0);
+  EXPECT_TRUE(set.check_and_insert(7, 9, 11.0));
+  EXPECT_FALSE(set.check_and_insert(7, 9, 20.0));  // refreshed at t=11
+}
+
+}  // namespace
+}  // namespace qolsr

@@ -1,0 +1,151 @@
+#include "proto/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qolsr {
+namespace {
+
+LinkQos sample_qos() {
+  LinkQos q;
+  q.bandwidth = 7.25;
+  q.delay = 0.125;
+  q.jitter = 0.5;
+  q.loss_cost = 0.01;
+  q.energy = 3.5;
+  q.buffers = 12.0;
+  return q;
+}
+
+PacketHeader header_of(MessageType type) {
+  PacketHeader h;
+  h.type = type;
+  h.originator = 42;
+  h.sequence = 1234;
+  h.ttl = 17;
+  h.hop_count = 3;
+  return h;
+}
+
+TEST(Messages, HelloRoundTrip) {
+  HelloMessage hello;
+  hello.originator = 42;
+  hello.willingness = 3;
+  hello.links.push_back({7, LinkStatus::kSymmetric, sample_qos()});
+  hello.links.push_back({9, LinkStatus::kMpr, sample_qos()});
+  hello.links.push_back({11, LinkStatus::kAsymmetric, {}});
+
+  const auto bytes = serialize(header_of(MessageType::kHello), hello);
+  const auto parsed = parse_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header, header_of(MessageType::kHello));
+  ASSERT_TRUE(parsed->hello.has_value());
+  EXPECT_EQ(*parsed->hello, hello);
+  EXPECT_FALSE(parsed->tc.has_value());
+}
+
+TEST(Messages, TcRoundTrip) {
+  TcMessage tc;
+  tc.originator = 42;
+  tc.ansn = 77;
+  tc.advertised.push_back({3, LinkStatus::kSymmetric, sample_qos()});
+  const auto bytes = serialize(header_of(MessageType::kTc), tc);
+  const auto parsed = parse_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->tc.has_value());
+  EXPECT_EQ(*parsed->tc, tc);
+}
+
+TEST(Messages, EmptyTcRoundTrip) {
+  TcMessage tc;
+  tc.originator = 1;
+  tc.ansn = 0;
+  const auto bytes = serialize(header_of(MessageType::kTc), tc);
+  const auto parsed = parse_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->tc->advertised.empty());
+}
+
+TEST(Messages, DataRoundTrip) {
+  DataMessage data;
+  data.source = 5;
+  data.destination = 17;
+  data.payload_id = 0xdeadbeef;
+  const auto bytes = serialize(header_of(MessageType::kData), data);
+  const auto parsed = parse_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->data.has_value());
+  EXPECT_EQ(*parsed->data, data);
+}
+
+TEST(Messages, QosSurvivesExactly) {
+  // Doubles must round-trip bit-exactly (bit_cast wire format).
+  HelloMessage hello;
+  hello.originator = 1;
+  LinkQos q = sample_qos();
+  q.bandwidth = 0.1 + 0.2;  // not representable exactly — still must match
+  hello.links.push_back({2, LinkStatus::kSymmetric, q});
+  const auto parsed =
+      parse_packet(serialize(header_of(MessageType::kHello), hello));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->hello->links[0].qos.bandwidth, q.bandwidth);
+}
+
+TEST(Messages, TruncatedPacketsRejected) {
+  HelloMessage hello;
+  hello.originator = 42;
+  hello.links.push_back({7, LinkStatus::kSymmetric, sample_qos()});
+  auto bytes = serialize(header_of(MessageType::kHello), hello);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::byte> truncated(bytes.begin(),
+                                     bytes.begin() +
+                                         static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(parse_packet(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Messages, TrailingGarbageRejected) {
+  TcMessage tc;
+  tc.originator = 3;
+  auto bytes = serialize(header_of(MessageType::kTc), tc);
+  bytes.push_back(std::byte{0});
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Messages, UnknownTypeRejected) {
+  DataMessage data;
+  auto bytes = serialize(header_of(MessageType::kData), data);
+  bytes[0] = std::byte{99};
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Messages, BadLinkStatusRejected) {
+  HelloMessage hello;
+  hello.originator = 42;
+  hello.links.push_back({7, LinkStatus::kSymmetric, {}});
+  auto bytes = serialize(header_of(MessageType::kHello), hello);
+  // Status byte sits right after the 4-byte neighbor id in the advert;
+  // adverts start after header (9) + originator (4) + willingness (1) +
+  // count (2) = 16, so status is at offset 20.
+  bytes[20] = std::byte{0};
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Messages, TcWireSizeGrowsWithAnsSize) {
+  // The motivation for minimizing the ANS (Figs. 6/7): TC size is linear
+  // in the advertised-set cardinality.
+  const std::size_t empty = tc_wire_size(0);
+  const std::size_t five = tc_wire_size(5);
+  const std::size_t ten = tc_wire_size(10);
+  EXPECT_EQ(ten - five, five - empty);
+  EXPECT_GT(five, empty);
+
+  TcMessage tc;
+  tc.originator = 1;
+  for (NodeId i = 0; i < 5; ++i)
+    tc.advertised.push_back({i, LinkStatus::kSymmetric, {}});
+  EXPECT_EQ(serialize(header_of(MessageType::kTc), tc).size(),
+            tc_wire_size(5));
+}
+
+}  // namespace
+}  // namespace qolsr

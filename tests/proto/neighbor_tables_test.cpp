@@ -1,0 +1,108 @@
+#include "proto/neighbor_tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qolsr {
+namespace {
+
+LinkQos qos_bw(double b) {
+  LinkQos q;
+  q.bandwidth = b;
+  return q;
+}
+
+HelloMessage hello_from(NodeId origin,
+                        std::vector<LinkAdvert> links = {}) {
+  HelloMessage h;
+  h.originator = origin;
+  h.links = std::move(links);
+  return h;
+}
+
+TEST(NeighborTables, TwoWayHandshake) {
+  NeighborTables tables(/*self=*/0, /*hold=*/6.0);
+  // First HELLO from 1 does not list us: asymmetric.
+  tables.on_hello(hello_from(1), qos_bw(5), 0.0);
+  EXPECT_FALSE(tables.is_symmetric(1));
+  EXPECT_EQ(tables.heard_neighbors(), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(tables.symmetric_neighbors().empty());
+  // Second HELLO lists us: symmetric.
+  tables.on_hello(hello_from(1, {{0, LinkStatus::kAsymmetric, qos_bw(5)}}),
+                  qos_bw(5), 1.0);
+  EXPECT_TRUE(tables.is_symmetric(1));
+  EXPECT_EQ(tables.symmetric_neighbors(), (std::vector<NodeId>{1}));
+}
+
+TEST(NeighborTables, LinkQosStored) {
+  NeighborTables tables(0);
+  tables.on_hello(hello_from(3, {{0, LinkStatus::kSymmetric, qos_bw(2)}}),
+                  qos_bw(7.5), 0.0);
+  ASSERT_NE(tables.link_qos(3), nullptr);
+  EXPECT_EQ(tables.link_qos(3)->bandwidth, 7.5);
+  EXPECT_EQ(tables.link_qos(99), nullptr);
+}
+
+TEST(NeighborTables, MprSelectorTracking) {
+  NeighborTables tables(0);
+  tables.on_hello(hello_from(1, {{0, LinkStatus::kMpr, qos_bw(1)}}),
+                  qos_bw(1), 0.0);
+  tables.on_hello(hello_from(2, {{0, LinkStatus::kSymmetric, qos_bw(1)}}),
+                  qos_bw(1), 0.0);
+  EXPECT_TRUE(tables.selected_us_as_mpr(1));
+  EXPECT_FALSE(tables.selected_us_as_mpr(2));
+  EXPECT_EQ(tables.mpr_selectors(), (std::vector<NodeId>{1}));
+  // A later HELLO that demotes us clears the flag.
+  tables.on_hello(hello_from(1, {{0, LinkStatus::kSymmetric, qos_bw(1)}}),
+                  qos_bw(1), 1.0);
+  EXPECT_FALSE(tables.selected_us_as_mpr(1));
+}
+
+TEST(NeighborTables, ExpiryRemovesStaleLinks) {
+  NeighborTables tables(0, /*hold=*/5.0);
+  tables.on_hello(hello_from(1, {{0, LinkStatus::kSymmetric, qos_bw(1)}}),
+                  qos_bw(1), 0.0);
+  tables.expire(4.0);
+  EXPECT_TRUE(tables.is_symmetric(1));
+  tables.expire(5.5);
+  EXPECT_FALSE(tables.is_symmetric(1));
+  EXPECT_TRUE(tables.heard_neighbors().empty());
+}
+
+TEST(NeighborTables, BuildLocalViewFromHellos) {
+  // Node 0 hears 1 and 2; 1 advertises a link to 3 (2-hop for us).
+  NeighborTables tables(0);
+  tables.on_hello(hello_from(1, {{0, LinkStatus::kSymmetric, qos_bw(4)},
+                                 {3, LinkStatus::kSymmetric, qos_bw(6)}}),
+                  qos_bw(4), 0.0);
+  tables.on_hello(hello_from(2, {{0, LinkStatus::kSymmetric, qos_bw(5)}}),
+                  qos_bw(5), 0.0);
+  const LocalView view = tables.build_local_view();
+  EXPECT_EQ(view.origin(), 0u);
+  ASSERT_EQ(view.one_hop().size(), 2u);
+  ASSERT_EQ(view.two_hop().size(), 1u);
+  EXPECT_EQ(view.global_id(view.two_hop()[0]), 3u);
+  const LinkQos* q =
+      view.local_edge_qos(view.local_id(1), view.local_id(3));
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->bandwidth, 6.0);
+}
+
+TEST(NeighborTables, AsymmetricNeighborsExcludedFromView) {
+  NeighborTables tables(0);
+  tables.on_hello(hello_from(1), qos_bw(4), 0.0);  // asymmetric only
+  const LocalView view = tables.build_local_view();
+  EXPECT_TRUE(view.one_hop().empty());
+}
+
+TEST(NeighborTables, AsymmetricAdvertsIgnoredInTwoHop) {
+  // Links the neighbor itself only *heard* must not count as 2-hop links.
+  NeighborTables tables(0);
+  tables.on_hello(hello_from(1, {{0, LinkStatus::kSymmetric, qos_bw(4)},
+                                 {5, LinkStatus::kAsymmetric, qos_bw(9)}}),
+                  qos_bw(4), 0.0);
+  const LocalView view = tables.build_local_view();
+  EXPECT_TRUE(view.two_hop().empty());
+}
+
+}  // namespace
+}  // namespace qolsr

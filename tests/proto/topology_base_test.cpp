@@ -1,0 +1,99 @@
+#include "proto/topology_base.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qolsr {
+namespace {
+
+LinkAdvert advert(NodeId to, double bw = 1.0) {
+  LinkAdvert a;
+  a.neighbor = to;
+  a.qos.bandwidth = bw;
+  return a;
+}
+
+TcMessage tc_of(NodeId origin, std::uint16_t ansn,
+                std::vector<LinkAdvert> links) {
+  TcMessage tc;
+  tc.originator = origin;
+  tc.ansn = ansn;
+  tc.advertised = std::move(links);
+  return tc;
+}
+
+TEST(TopologyBase, StoresAdvertisedLinks) {
+  TopologyBase base(15.0);
+  EXPECT_TRUE(base.on_tc(tc_of(1, 1, {advert(2), advert(3)}), 0.0));
+  EXPECT_EQ(base.advertised_of(1), (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(base.advertised_of(9).empty());
+  EXPECT_EQ(base.originator_count(), 1u);
+}
+
+TEST(TopologyBase, NewerAnsnReplaces) {
+  TopologyBase base(15.0);
+  base.on_tc(tc_of(1, 1, {advert(2)}), 0.0);
+  EXPECT_TRUE(base.on_tc(tc_of(1, 2, {advert(3)}), 1.0));
+  EXPECT_EQ(base.advertised_of(1), (std::vector<NodeId>{3}));
+}
+
+TEST(TopologyBase, StaleAnsnIgnored) {
+  TopologyBase base(15.0);
+  base.on_tc(tc_of(1, 5, {advert(2)}), 0.0);
+  EXPECT_FALSE(base.on_tc(tc_of(1, 4, {advert(9)}), 1.0));
+  EXPECT_EQ(base.advertised_of(1), (std::vector<NodeId>{2}));
+}
+
+TEST(TopologyBase, AnsnWrapAroundIsNewer) {
+  TopologyBase base(15.0);
+  base.on_tc(tc_of(1, 0xFFFE, {advert(2)}), 0.0);
+  // 3 is "newer" than 0xFFFE modulo 2^16.
+  EXPECT_TRUE(base.on_tc(tc_of(1, 3, {advert(7)}), 1.0));
+  EXPECT_EQ(base.advertised_of(1), (std::vector<NodeId>{7}));
+}
+
+TEST(TopologyBase, SameAnsnRefreshes) {
+  TopologyBase base(10.0);
+  base.on_tc(tc_of(1, 1, {advert(2)}), 0.0);
+  EXPECT_TRUE(base.on_tc(tc_of(1, 1, {advert(2)}), 8.0));  // refresh timer
+  base.expire(15.0);  // would have expired at 10 without the refresh
+  EXPECT_EQ(base.advertised_of(1), (std::vector<NodeId>{2}));
+}
+
+TEST(TopologyBase, ExpiryDropsOldEntries) {
+  TopologyBase base(10.0);
+  base.on_tc(tc_of(1, 1, {advert(2)}), 0.0);
+  base.on_tc(tc_of(5, 1, {advert(6)}), 7.0);
+  base.expire(12.0);
+  EXPECT_TRUE(base.advertised_of(1).empty());
+  EXPECT_EQ(base.advertised_of(5), (std::vector<NodeId>{6}));
+}
+
+TEST(TopologyBase, StaleEntryCanBeReplacedAfterExpiry) {
+  TopologyBase base(10.0);
+  base.on_tc(tc_of(1, 100, {advert(2)}), 0.0);
+  // Long silence: node 1 rebooted and restarted its ANSN at 1.
+  EXPECT_TRUE(base.on_tc(tc_of(1, 1, {advert(4)}), 25.0));
+  EXPECT_EQ(base.advertised_of(1), (std::vector<NodeId>{4}));
+}
+
+TEST(TopologyBase, ToGraphBuildsUndirectedUnion) {
+  TopologyBase base(15.0);
+  base.on_tc(tc_of(1, 1, {advert(2, 7.5)}), 0.0);
+  base.on_tc(tc_of(2, 1, {advert(1, 7.5), advert(3, 2.0)}), 0.0);
+  const Graph g = base.to_graph(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 2u);  // (1,2) deduplicated, (2,3)
+  ASSERT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.edge_qos(1, 2)->bandwidth, 7.5);
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(TopologyBase, ToGraphIgnoresOutOfRangeIds) {
+  TopologyBase base(15.0);
+  base.on_tc(tc_of(1, 1, {advert(99)}), 0.0);
+  const Graph g = base.to_graph(5);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace qolsr

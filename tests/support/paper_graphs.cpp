@@ -1,0 +1,81 @@
+#include "support/paper_graphs.hpp"
+
+namespace qolsr::testing {
+
+namespace {
+LinkQos bw(double bandwidth, double delay = 1.0) {
+  LinkQos qos;
+  qos.bandwidth = bandwidth;
+  qos.delay = delay;
+  return qos;
+}
+}  // namespace
+
+Graph Fig1::build() {
+  Graph g(6);
+  g.add_edge(v1, v2, bw(7));
+  g.add_edge(v2, v3, bw(6));
+  g.add_edge(v2, v5, bw(8));
+  g.add_edge(v1, v5, bw(5));
+  g.add_edge(v3, v5, bw(5));
+  g.add_edge(v1, v6, bw(10));
+  g.add_edge(v6, v5, bw(10));
+  g.add_edge(v5, v4, bw(10));
+  g.add_edge(v4, v3, bw(10));
+  return g;
+}
+
+Graph Fig2::build() {
+  // NOTE: v11 is linked to v6 only; a v2–v11 link cannot coexist with
+  // fPBW(u,v3) = {v1,v2} on this wiring (any ≥4-wide route into v2 creates
+  // a tied path into v3). The paper's v11 tie-break claim is covered by a
+  // dedicated minimal graph in the tests.
+  Graph g(12);
+  g.add_edge(u, v1, bw(5));
+  g.add_edge(u, v2, bw(5));
+  g.add_edge(u, v4, bw(3));
+  g.add_edge(u, v5, bw(2));
+  g.add_edge(u, v6, bw(6));
+  g.add_edge(u, v7, bw(3));
+  g.add_edge(v1, v3, bw(4));
+  g.add_edge(v2, v3, bw(4));
+  g.add_edge(v1, v5, bw(5));
+  g.add_edge(v5, v4, bw(5));
+  g.add_edge(v5, v10, bw(5));
+  g.add_edge(v6, v8, bw(5));
+  g.add_edge(v8, v9, bw(5));  // invisible from u: joins two 2-hop nodes
+  g.add_edge(v7, v9, bw(3));
+  g.add_edge(v6, v11, bw(5));
+  return g;
+}
+
+Graph Fig4::build() {
+  Graph g(5);
+  g.add_edge(a, b, bw(4));
+  g.add_edge(b, c, bw(3));
+  g.add_edge(c, d, bw(4));
+  g.add_edge(a, d, bw(2));
+  g.add_edge(d, e, bw(1));
+  return g;
+}
+
+Graph Fig5::build() {
+  // u's ring n1..n4 (ids 1..4) and two-hop targets t1..t4 (ids 5..8).
+  Graph g(9);
+  g.add_edge(0, 1, bw(8, 2));
+  g.add_edge(0, 2, bw(3, 5));
+  g.add_edge(0, 3, bw(6, 1));
+  g.add_edge(0, 4, bw(2, 8));
+  g.add_edge(1, 2, bw(9, 1));   // strong lateral link
+  g.add_edge(3, 4, bw(7, 2));
+  g.add_edge(1, 5, bw(5, 3));
+  g.add_edge(2, 5, bw(6, 2));   // t1 covered by n1 and n2
+  g.add_edge(2, 6, bw(4, 4));   // t2 only via n2
+  g.add_edge(3, 7, bw(6, 3));
+  g.add_edge(4, 7, bw(3, 6));   // t3 covered by n3 and n4
+  g.add_edge(4, 8, bw(5, 2));   // t4 only via n4
+  g.add_edge(5, 6, bw(8, 1));   // lateral link between 2-hop nodes
+  return g;
+}
+
+}  // namespace qolsr::testing

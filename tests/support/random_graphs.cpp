@@ -1,0 +1,27 @@
+#include "support/random_graphs.hpp"
+
+namespace qolsr::testing {
+
+Graph random_geometric_graph(std::uint64_t seed, double degree, double side) {
+  util::Rng rng(seed);
+  DeploymentConfig config;
+  config.width = side;
+  config.height = side;
+  config.radius = 100.0;
+  config.degree = degree;
+  Graph graph = sample_poisson_deployment(config, rng);
+  assign_uniform_qos(graph, {}, rng);
+  return graph;
+}
+
+Graph random_uniform_graph(std::uint64_t seed, std::size_t n, double p) {
+  util::Rng rng(seed);
+  Graph graph(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.uniform01() < p) graph.add_edge(u, v);
+  assign_uniform_qos(graph, {}, rng);
+  return graph;
+}
+
+}  // namespace qolsr::testing

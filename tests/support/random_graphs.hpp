@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/deployment.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qolsr::testing {
+
+/// Small random connected-ish geometric graph for property tests: a scaled
+/// down version of the paper's deployment (field side `side`, radius 100,
+/// target degree `degree`), with uniform QoS weights in the paper's default
+/// intervals.
+Graph random_geometric_graph(std::uint64_t seed, double degree = 8.0,
+                             double side = 300.0);
+
+/// Erdős–Rényi-style random graph with `n` nodes and edge probability `p`,
+/// uniform QoS weights. Non-geometric — exercises topologies the unit-disk
+/// model never produces (useful for adversarial corners).
+Graph random_uniform_graph(std::uint64_t seed, std::size_t n, double p);
+
+}  // namespace qolsr::testing

@@ -1,0 +1,60 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qolsr::util {
+namespace {
+
+/// Captures std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_threshold(); }
+  void TearDown() override { set_log_threshold(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LogTest, MessagesBelowThresholdAreDropped) {
+  set_log_threshold(LogLevel::kWarn);
+  ClogCapture capture;
+  QOLSR_LOG(kInfo) << "hidden";
+  QOLSR_LOG(kWarn) << "visible";
+  EXPECT_EQ(capture.text().find("hidden"), std::string::npos);
+  EXPECT_NE(capture.text().find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelNamesAppear) {
+  set_log_threshold(LogLevel::kDebug);
+  ClogCapture capture;
+  QOLSR_LOG(kError) << "boom";
+  EXPECT_NE(capture.text().find("[ERROR] boom"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_threshold(LogLevel::kOff);
+  ClogCapture capture;
+  QOLSR_LOG(kError) << "nope";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, StreamingFormatsValues) {
+  set_log_threshold(LogLevel::kDebug);
+  ClogCapture capture;
+  QOLSR_LOG(kInfo) << "x=" << 42 << " y=" << 1.5;
+  EXPECT_NE(capture.text().find("x=42 y=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qolsr::util

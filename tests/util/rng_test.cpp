@@ -1,0 +1,143 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace qolsr::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng.next(), 0u);  // state must not be stuck at the fixed point
+  EXPECT_NE(rng.next(), rng.next());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(2.5, 9.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 9.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValuesUnbiased) {
+  Rng rng(17);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(std::uint64_t{7})];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 * 0.1);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(std::int64_t{-3}, std::int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntOfOneIsZero) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(std::uint64_t{1}), 0u);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatchLambda) {
+  const double lambda = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lambda * 1000) + 29);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double k = static_cast<double>(rng.poisson(lambda));
+    sum += k;
+    sum_sq += k * k;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  // Poisson: mean == variance == lambda. 5-sigma-ish tolerance.
+  EXPECT_NEAR(mean, lambda, 5.0 * std::sqrt(lambda / n) + 0.02 * lambda);
+  EXPECT_NEAR(var, lambda, 0.1 * lambda + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RngPoissonTest,
+                         ::testing::Values(0.5, 3.0, 12.0, 29.9, 30.1, 80.0,
+                                           300.0));
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(37);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.split();
+  // Child stream differs from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next() == child.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  // Satisfies UniformRandomBitGenerator.
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(43);
+  EXPECT_GE(Rng::max(), Rng::min());
+}
+
+}  // namespace
+}  // namespace qolsr::util

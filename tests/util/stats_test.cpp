@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace qolsr::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.2);
+  EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(99);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 20.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(7);
+  RunningStats small, large;
+  for (int i = 0; i < 20; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 2000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_GT(small.ci95_halfwidth(), 0.0);
+}
+
+TEST(Quantile, EmptyAndEdges) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({3.0}, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile({3.0}, 1.0), 3.0);
+}
+
+TEST(Quantile, MedianAndInterpolation) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, SortedVariantAgrees) {
+  std::vector<double> sorted{1.0, 2.0, 5.0, 9.0, 10.0};
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.77, 1.0})
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(sorted, q));
+}
+
+}  // namespace
+}  // namespace qolsr::util

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qolsr::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"density", "fnbp"});
+  t.add_row({"10", "2.5"});
+  t.add_row({"35", "2.41"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("density | fnbp"), std::string::npos);
+  EXPECT_NE(s.find("------- | ----"), std::string::npos);
+  EXPECT_NE(s.find("     35 | 2.41"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"d", "a", "b"});
+  t.add_row(15.0, {0.12345, 2.0}, 3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("15"), std::string::npos);
+  EXPECT_NE(s.find("0.123"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"only"});
+  t.add_row({"cell"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(10.0, 0), "10");
+  EXPECT_EQ(format_double(-0.125, 3), "-0.125");
+}
+
+}  // namespace
+}  // namespace qolsr::util
