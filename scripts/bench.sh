@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Builds the micro benchmarks in Release and records their results as
+# BENCH_micro.json at the repo root, so successive PRs leave a perf
+# trajectory. Usage:
+#
+#   scripts/bench.sh [--quick]
+#
+# --quick lowers the per-benchmark minimum time (smoke run, noisier).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+BUILD_DIR="${BENCH_BUILD_DIR:-build-bench}"
+MIN_TIME="0.5"
+if [[ "${1:-}" == "--quick" ]]; then
+  MIN_TIME="0.05"
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target micro_selection micro_path micro_sim
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for bench in micro_selection micro_path micro_sim; do
+  "$BUILD_DIR/$bench" \
+    --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    >"$TMP_DIR/$bench.json"
+done
+
+python3 - "$TMP_DIR" "$ROOT/BENCH_micro.json" <<'PY'
+import json
+import subprocess
+import sys
+
+tmp_dir, out_path = sys.argv[1], sys.argv[2]
+merged = {"context": None, "benchmarks": []}
+for name in ("micro_selection", "micro_path", "micro_sim"):
+    with open(f"{tmp_dir}/{name}.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = data.get("context", {})
+    for bench in data.get("benchmarks", []):
+        bench["suite"] = name
+        merged["benchmarks"].append(bench)
+try:
+    commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                            capture_output=True, text=True).stdout.strip()
+except OSError:
+    commit = ""
+merged["commit"] = commit
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+PY

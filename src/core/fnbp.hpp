@@ -6,6 +6,7 @@
 
 #include "core/ordering.hpp"
 #include "graph/local_view.hpp"
+#include "olsr/selection_workspace.hpp"
 #include "olsr/selector.hpp"
 #include "path/first_hops.hpp"
 
@@ -52,12 +53,17 @@ struct FnbpOptions {
 /// the loop-fix intersection is with N(v) (`fP ⊆ N(u)` makes the printed
 /// `∩ N(u)` vacuous; "a node w such that the path uwv exists" is N(v)).
 ///
-/// Returns ascending global ids.
+/// Returns ascending global ids in `out` (cleared first). All scratch —
+/// the fP table, the inner Dijkstras, the selection flags — comes from
+/// `ws`, so sweeping every node of a run allocates nothing in steady state.
 template <Metric M>
-std::vector<NodeId> select_fnbp_ans(const LocalView& view,
-                                    const FnbpOptions& options = {}) {
-  const FirstHopTable table = compute_first_hops<M>(view);
-  std::vector<bool> in_ans(view.size(), false);
+void select_fnbp_ans(const LocalView& view, SelectionWorkspace& ws,
+                     std::vector<NodeId>& out,
+                     const FnbpOptions& options = {}) {
+  compute_first_hops<M>(view, ws.dijkstra, ws.first_hops);
+  const FirstHopTable& table = ws.first_hops;
+  ws.in_ans.assign(view.size(), 0);
+  auto& in_ans = ws.in_ans;
 
   auto pick = [&](std::span<const std::uint32_t> candidates) {
     if (!options.qos_tiebreak) {
@@ -69,7 +75,7 @@ std::vector<NodeId> select_fnbp_ans(const LocalView& view,
   };
   auto covered = [&](const std::vector<std::uint32_t>& fp) {
     return std::any_of(fp.begin(), fp.end(),
-                       [&](std::uint32_t w) { return in_ans[w]; });
+                       [&](std::uint32_t w) { return in_ans[w] != 0; });
   };
 
   // Step 1: 1-hop neighbors (local one-hop ids ascend with global id, which
@@ -80,7 +86,7 @@ std::vector<NodeId> select_fnbp_ans(const LocalView& view,
     if (std::binary_search(fp.begin(), fp.end(), v)) continue;
     if (covered(fp)) continue;
     const std::uint32_t w = pick(fp);
-    if (w != kInvalidNode) in_ans[w] = true;
+    if (w != kInvalidNode) in_ans[w] = 1;
   }
 
   // Step 2: 2-hop neighbors.
@@ -89,7 +95,7 @@ std::vector<NodeId> select_fnbp_ans(const LocalView& view,
     if (fp.empty()) continue;
     if (!covered(fp)) {
       const std::uint32_t w = pick(fp);
-      if (w != kInvalidNode) in_ans[w] = true;
+      if (w != kInvalidNode) in_ans[w] = 1;
       continue;
     }
     if (!options.loop_fix) continue;
@@ -100,18 +106,28 @@ std::vector<NodeId> select_fnbp_ans(const LocalView& view,
         fp.begin(), fp.end(),
         [&](std::uint32_t w) { return view.global_id(w) > origin_id; });
     if (!origin_smallest) continue;
-    std::vector<std::uint32_t> adjacent_to_v;
+    std::vector<std::uint32_t>& adjacent_to_v = ws.ids;
+    adjacent_to_v.clear();
     for (std::uint32_t w : fp)
       if (view.has_local_edge(w, v)) adjacent_to_v.push_back(w);
     if (adjacent_to_v.empty()) continue;
     const std::uint32_t w = pick(adjacent_to_v);
-    if (w != kInvalidNode) in_ans[w] = true;
+    if (w != kInvalidNode) in_ans[w] = 1;
   }
 
-  std::vector<NodeId> result;
+  out.clear();
   for (std::uint32_t w = 0; w < view.size(); ++w)
-    if (in_ans[w]) result.push_back(view.global_id(w));
-  std::sort(result.begin(), result.end());
+    if (in_ans[w] != 0) out.push_back(view.global_id(w));
+  std::sort(out.begin(), out.end());
+}
+
+/// Allocating convenience form (the original API).
+template <Metric M>
+std::vector<NodeId> select_fnbp_ans(const LocalView& view,
+                                    const FnbpOptions& options = {}) {
+  thread_local SelectionWorkspace ws;
+  std::vector<NodeId> result;
+  select_fnbp_ans<M>(view, ws, result, options);
   return result;
 }
 
@@ -125,6 +141,10 @@ class FnbpSelector final : public AnsSelector {
   std::string_view name() const override { return name_; }
   std::vector<NodeId> select(const LocalView& view) const override {
     return select_fnbp_ans<M>(view, options_);
+  }
+  void select_into(const LocalView& view, SelectionWorkspace& ws,
+                   std::vector<NodeId>& out) const override {
+    select_fnbp_ans<M>(view, ws, out, options_);
   }
 
  private:

@@ -44,13 +44,26 @@ struct SampledRun {
   double optimal_value = 0.0;  ///< b* / d* on the full graph (Dijkstra)
 };
 
+/// Per-worker-thread scratch for the eval pipeline: one view builder, one
+/// reused view, and the selection workspace shared by every heuristic. With
+/// one bundle per thread, a full sweep builds every node's view and ANS
+/// with zero per-node allocation (DESIGN.md §5).
+struct EvalWorkspace {
+  LocalViewBuilder view_builder;
+  LocalView view;
+  SelectionWorkspace selection;
+  /// Per-selector, per-node ANS of the current run; the nested vectors are
+  /// resized (keeping capacity) instead of reallocated each run.
+  std::vector<std::vector<std::vector<NodeId>>> ans;
+};
+
 /// Samples one evaluation topology: Poisson deployment, uniform link QoS,
 /// and a random connected (source, destination) pair. Re-draws the pair up
 /// to `scenario.max_pair_draws` times, then resamples the whole topology —
 /// a disconnected pair has no optimum to compare against (DESIGN.md §4.8).
 template <Metric M>
 SampledRun sample_run(const Scenario& scenario, double density,
-                      util::Rng& rng) {
+                      util::Rng& rng, EvalWorkspace& ws) {
   SampledRun run;
   for (;;) {
     DeploymentConfig field = scenario.field;
@@ -65,11 +78,11 @@ SampledRun sample_run(const Scenario& scenario, double density,
       const NodeId s = static_cast<NodeId>(rng.uniform_int(n));
       NodeId d = kInvalidNode;
       if (scenario.pair_mode == Scenario::PairMode::kTwoHop) {
-        const LocalView view(run.graph, s);
-        if (view.two_hop().empty()) continue;
+        ws.view_builder.build(run.graph, s, ws.view);
+        if (ws.view.two_hop().empty()) continue;
         const std::uint32_t pick = static_cast<std::uint32_t>(
-            rng.uniform_int(std::uint64_t{view.two_hop().size()}));
-        d = view.global_id(view.two_hop()[pick]);
+            rng.uniform_int(std::uint64_t{ws.view.two_hop().size()}));
+        d = ws.view.global_id(ws.view.two_hop()[pick]);
       } else {
         d = static_cast<NodeId>(rng.uniform_int(n));
         if (s == d || !components.connected(s, d)) continue;
@@ -81,6 +94,14 @@ SampledRun sample_run(const Scenario& scenario, double density,
       return run;
     }
   }
+}
+
+/// Convenience form with a throwaway workspace (tests, one-off callers).
+template <Metric M>
+SampledRun sample_run(const Scenario& scenario, double density,
+                      util::Rng& rng) {
+  EvalWorkspace ws;
+  return sample_run<M>(scenario, density, rng, ws);
 }
 
 /// QoS overhead of an achieved route value vs. the optimum (paper §IV-A):
@@ -98,22 +119,25 @@ double qos_overhead(double achieved, double optimal) {
 namespace eval_detail {
 
 /// Executes one sampled run and folds the measurements into `stats`.
+/// `ws` is the calling worker thread's scratch bundle.
 template <Metric M>
 void execute_run(const Scenario& scenario, double density,
                  std::uint64_t run_seed,
                  const std::vector<const AnsSelector*>& selectors,
-                 DensityStats& stats) {
+                 DensityStats& stats, EvalWorkspace& ws) {
   util::Rng rng(run_seed);
-  const SampledRun run = sample_run<M>(scenario, density, rng);
+  const SampledRun run = sample_run<M>(scenario, density, rng, ws);
   stats.node_count.add(static_cast<double>(run.graph.node_count()));
 
-  // Every node's view is built once and shared by all selectors.
-  std::vector<std::vector<std::vector<NodeId>>> ans(selectors.size());
+  // Every node's view is built once (into the reused workspace view) and
+  // shared by all selectors; the ANS buffers are recycled run to run.
+  auto& ans = ws.ans;
+  ans.resize(selectors.size());
   for (auto& per_node : ans) per_node.resize(run.graph.node_count());
   for (NodeId u = 0; u < run.graph.node_count(); ++u) {
-    const LocalView view(run.graph, u);
+    ws.view_builder.build(run.graph, u, ws.view);
     for (std::size_t si = 0; si < selectors.size(); ++si)
-      ans[si][u] = selectors[si]->select(view);
+      selectors[si]->select_into(ws.view, ws.selection, ans[si][u]);
   }
 
   for (std::size_t si = 0; si < selectors.size(); ++si) {
@@ -200,17 +224,19 @@ std::vector<DensityStats> run_sweep(
     std::vector<DensityStats> partials(
         threads, eval_detail::empty_stats(density, scenario.runs, selectors));
     if (threads == 1) {
+      EvalWorkspace ws;
       for (std::size_t r = 0; r < scenario.runs; ++r)
         eval_detail::execute_run<M>(scenario, density, seed_of(r), selectors,
-                                    partials[0]);
+                                    partials[0], ws);
     } else {
       std::vector<std::thread> workers;
       workers.reserve(threads);
       for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&, t] {
+          EvalWorkspace ws;
           for (std::size_t r = t; r < scenario.runs; r += threads)
             eval_detail::execute_run<M>(scenario, density, seed_of(r),
-                                        selectors, partials[t]);
+                                        selectors, partials[t], ws);
         });
       }
       for (std::thread& w : workers) w.join();

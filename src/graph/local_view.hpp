@@ -2,13 +2,14 @@
 
 #include <cstddef>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/node_id.hpp"
 
 namespace qolsr {
+
+class LocalViewBuilder;
 
 /// The partial view `G_u = (V_u, E_u)` a node has of the network
 /// (paper §III-A):
@@ -24,8 +25,18 @@ namespace qolsr {
 ///
 /// Nodes are re-indexed into a compact local id space so the path algorithms
 /// can run on dense vectors. Local index 0 is always `u` itself.
+///
+/// Storage is a flat CSR layout (row offsets + one packed edge array, rows
+/// sorted by neighbor): the eval pipeline builds millions of views per
+/// sweep, and per-row heap nodes or a global→local hash map would dominate
+/// the selection hot path (see DESIGN.md §5). Views are built by a
+/// `LocalViewBuilder`; the constructors below are conveniences that route
+/// through a thread-local builder.
 class LocalView {
  public:
+  /// An empty view (no origin, no nodes) — a reusable build target.
+  LocalView() = default;
+
   /// Extracts G_u from the full graph.
   LocalView(const Graph& graph, NodeId u);
 
@@ -41,7 +52,7 @@ class LocalView {
             const std::vector<std::vector<NeighborLink>>& neighbor_links);
 
   NodeId origin() const { return origin_; }
-  std::size_t size() const { return adjacency_.size(); }
+  std::size_t size() const { return global_ids_.size(); }
 
   /// Local index of the origin u (always 0).
   static constexpr std::uint32_t origin_index() { return 0; }
@@ -59,7 +70,7 @@ class LocalView {
     LinkQos qos;
   };
   std::span<const LocalEdge> neighbors(std::uint32_t local) const {
-    return adjacency_[local];
+    return {edges_.data() + row_begin_[local], row_len_[local]};
   }
 
   bool has_local_edge(std::uint32_t a, std::uint32_t b) const;
@@ -79,21 +90,75 @@ class LocalView {
   }
 
   /// Removes the undirected local edge (a, b). Used by topology filtering,
-  /// which prunes the view before selecting (the RNG reduction).
+  /// which prunes the view before selecting (the RNG reduction). The rows
+  /// keep their CSR slots (a removal shortens `row_len_`), so pruning never
+  /// reallocates.
   void remove_local_edge(std::uint32_t a, std::uint32_t b);
 
  private:
-  void index_nodes(NodeId u, const std::vector<NodeId>& one_hop_globals,
-                   const std::vector<NodeId>& two_hop_globals);
-  void add_local_edge(std::uint32_t a, std::uint32_t b, const LinkQos& qos);
+  friend class LocalViewBuilder;
 
   NodeId origin_ = kInvalidNode;
-  std::vector<NodeId> global_ids_;                    // local -> global
-  std::unordered_map<NodeId, std::uint32_t> locals_;  // global -> local
-  std::vector<std::vector<LocalEdge>> adjacency_;
+  std::vector<NodeId> global_ids_;  ///< local -> global; [0]=u, then N(u)
+                                    ///< ascending, then N²(u) ascending
+  std::vector<std::uint32_t> row_begin_;  ///< CSR row offset per local node
+  std::vector<std::uint32_t> row_len_;    ///< live entries in each row
+  std::vector<LocalEdge> edges_;          ///< packed rows, sorted by `to`
   std::vector<std::uint32_t> one_hop_;
   std::vector<std::uint32_t> two_hop_;
   std::uint32_t first_two_hop_ = 1;
+};
+
+/// Reusable constructor of `LocalView`s. Owns epoch-stamped scratch sized to
+/// the *full* graph (a dense global→local map and membership stamps), so
+/// that after warm-up, building a view performs zero heap allocation and
+/// every membership probe — including the 2-hop discovery that previously
+/// binary-searched N(u) per candidate edge — is O(1).
+///
+/// One builder per worker thread; `build` may be called any number of times
+/// with any mix of graphs (the scratch grows monotonically to the largest
+/// graph seen). The same instance must not be used concurrently.
+class LocalViewBuilder {
+ public:
+  /// Builds G_u from the full graph into `out`, reusing `out`'s storage.
+  void build(const Graph& graph, NodeId u, LocalView& out);
+
+  /// Builds a view from HELLO-table data into `out` (the protocol-stack
+  /// form; see LocalView's second constructor).
+  void build(NodeId u, const std::vector<LocalView::NeighborLink>& one_hop,
+             const std::vector<std::vector<LocalView::NeighborLink>>&
+                 neighbor_links,
+             LocalView& out);
+
+ private:
+  /// Grows the dense scratch to cover global ids < `max_global` and starts
+  /// a fresh epoch.
+  void begin_epoch(std::size_t max_global);
+  /// Assigns local ids (out.global_ids_ etc.) for u + the collected
+  /// neighborhoods; stamps every member's global id with its local id.
+  void index_nodes(NodeId u, LocalView& out);
+  /// Shared CSR finalization: `for_each_edge(emit)` must enumerate every
+  /// undirected edge once as emit(a, b, qos) — it is invoked twice (degree
+  /// count, then scatter); rows end up sorted by neighbor.
+  template <typename ForEachEdge>
+  void fill_rows(std::uint32_t n, const ForEachEdge& for_each_edge,
+                 LocalView& out);
+
+  // Dense per-global-id scratch, valid while stamp_[id] == epoch_.
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> local_of_;
+  std::uint32_t epoch_ = 0;
+
+  // Per-build scratch.
+  std::vector<NodeId> one_hop_globals_;
+  std::vector<NodeId> two_hop_globals_;
+  std::vector<std::uint32_t> cursor_;  ///< degree counts, then write cursors
+  struct PendingEdge {
+    std::uint32_t a, b;   ///< local endpoints
+    std::uint32_t seq;    ///< insertion order (first report wins)
+    LinkQos qos;
+  };
+  std::vector<PendingEdge> pending_;  ///< HELLO path: pre-dedup edge list
 };
 
 }  // namespace qolsr

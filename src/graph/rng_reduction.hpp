@@ -23,13 +23,13 @@ namespace qolsr {
 /// Strictness makes the filter deterministic and keeps at least one best
 /// link per witness-clique (ties never remove each other).
 ///
-/// Returns the filtered copy of `view` (the original is untouched).
+/// Writes the filtered copy of `view` into `out` (the original is
+/// untouched). `out`'s storage is reused — witness tests run against the
+/// unmodified `view`, so removals can be applied to `out` immediately and
+/// no removal list is needed.
 template <Metric M>
-LocalView rng_reduce(const LocalView& view) {
-  struct Removal {
-    std::uint32_t a, b;
-  };
-  std::vector<Removal> removals;
+void rng_reduce(const LocalView& view, LocalView& out) {
+  out = view;
   const auto n = static_cast<std::uint32_t>(view.size());
   for (std::uint32_t x = 0; x < n; ++x) {
     for (const LocalView::LocalEdge& edge : view.neighbors(x)) {
@@ -49,14 +49,19 @@ LocalView rng_reduce(const LocalView& view) {
         if (zy == nullptr) continue;
         if (M::better(M::link_value(xz.qos), direct) &&
             M::better(M::link_value(*zy), direct)) {
-          removals.push_back({x, y});
+          out.remove_local_edge(x, y);
           break;
         }
       }
     }
   }
-  LocalView reduced = view;
-  for (const Removal& r : removals) reduced.remove_local_edge(r.a, r.b);
+}
+
+/// Allocating convenience form (the original API).
+template <Metric M>
+LocalView rng_reduce(const LocalView& view) {
+  LocalView reduced;
+  rng_reduce<M>(view, reduced);
   return reduced;
 }
 

@@ -40,6 +40,12 @@ concept Metric = requires(double a, double b, const LinkQos& q) {
   { M::unreachable() } -> std::convertible_to<double>;
 };
 
+/// Relative tolerance of metric_equal: path values within this band (scaled
+/// by max(magnitude, 1)) compare as ties. Code that needs to stay clear of
+/// the band (e.g. the first-hop saturation cutoff) derives its margin from
+/// this constant.
+inline constexpr double kMetricRelTolerance = 1e-9;
+
 namespace metric_detail {
 
 /// Tolerant equality for path values. Concave values are exact copies of
@@ -50,7 +56,7 @@ inline bool values_equal(double a, double b) {
   if (a == b) return true;
   if (std::isinf(a) || std::isinf(b)) return false;
   const double scale = std::fmax(std::fabs(a), std::fabs(b));
-  return std::fabs(a - b) <= 1e-9 * std::fmax(scale, 1.0);
+  return std::fabs(a - b) <= kMetricRelTolerance * std::fmax(scale, 1.0);
 }
 
 struct AdditiveBase {

@@ -5,39 +5,39 @@
 
 namespace qolsr {
 
-namespace {
-
-/// 2-hop targets covered by neighbor `w` (local ids): exactly the view
-/// edges from w into the 2-hop zone.
-std::vector<std::uint32_t> covered_targets(const LocalView& view,
-                                           std::uint32_t w) {
-  std::vector<std::uint32_t> targets;
-  for (const LocalView::LocalEdge& e : view.neighbors(w))
-    if (view.is_two_hop(e.to)) targets.push_back(e.to);
-  return targets;
+std::vector<NodeId> select_mpr_rfc3626(const LocalView& view) {
+  thread_local SelectionWorkspace ws;
+  std::vector<NodeId> result;
+  select_mpr_rfc3626(view, ws, result);
+  return result;
 }
 
-}  // namespace
-
-std::vector<NodeId> select_mpr_rfc3626(const LocalView& view) {
+void select_mpr_rfc3626(const LocalView& view, SelectionWorkspace& ws,
+                        std::vector<NodeId>& out) {
   const auto n = static_cast<std::uint32_t>(view.size());
-  std::vector<bool> covered(n, false);
-  std::vector<bool> selected(n, false);
+  ws.covered.assign(n, 0);
+  ws.in_ans.assign(n, 0);
+  auto& covered = ws.covered;
+  auto& selected = ws.in_ans;
   std::size_t uncovered_count = view.two_hop().size();
 
-  // Coverage lists per neighbor, and per-2-hop cover counts for phase 1.
-  std::vector<std::vector<std::uint32_t>> covers(n);
-  std::vector<std::uint32_t> cover_count(n, 0);
+  // Coverage lists per neighbor (the view edges from w into the 2-hop
+  // zone), and per-2-hop cover counts for phase 1.
+  ws.reset_covers(n);
+  ws.cover_count.assign(n, 0);
+  auto& covers = ws.covers;
+  auto& cover_count = ws.cover_count;
   for (std::uint32_t w : view.one_hop()) {
-    covers[w] = covered_targets(view, w);
+    for (const LocalView::LocalEdge& e : view.neighbors(w))
+      if (view.is_two_hop(e.to)) covers[w].push_back(e.to);
     for (std::uint32_t v : covers[w]) ++cover_count[v];
   }
 
   auto select = [&](std::uint32_t w) {
-    selected[w] = true;
+    selected[w] = 1;
     for (std::uint32_t v : covers[w]) {
       if (!covered[v]) {
-        covered[v] = true;
+        covered[v] = 1;
         --uncovered_count;
       }
     }
@@ -74,11 +74,10 @@ std::vector<NodeId> select_mpr_rfc3626(const LocalView& view) {
     select(best);
   }
 
-  std::vector<NodeId> result;
+  out.clear();
   for (std::uint32_t w : view.one_hop())
-    if (selected[w]) result.push_back(view.global_id(w));
-  std::sort(result.begin(), result.end());
-  return result;
+    if (selected[w]) out.push_back(view.global_id(w));
+  std::sort(out.begin(), out.end());
 }
 
 bool covers_two_hop(const LocalView& view,

@@ -4,6 +4,7 @@
 
 #include "graph/local_view.hpp"
 #include "graph/node_id.hpp"
+#include "olsr/selection_workspace.hpp"
 
 namespace qolsr {
 
@@ -22,6 +23,11 @@ namespace qolsr {
 /// (Qayyum et al.). In FNBP and topology filtering this set keeps its
 /// original flooding role while a separate ANS is advertised for routing.
 std::vector<NodeId> select_mpr_rfc3626(const LocalView& view);
+
+/// Workspace form: identical result, scratch from `ws`, set written into
+/// `out` (cleared first).
+void select_mpr_rfc3626(const LocalView& view, SelectionWorkspace& ws,
+                        std::vector<NodeId>& out);
 
 /// True when every 2-hop neighbor of the view's origin is adjacent to at
 /// least one member of `mpr_set` (global ids). Property checked by tests

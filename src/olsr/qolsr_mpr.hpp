@@ -6,6 +6,7 @@
 
 #include "graph/local_view.hpp"
 #include "metrics/metric.hpp"
+#include "olsr/selection_workspace.hpp"
 
 namespace qolsr {
 
@@ -32,31 +33,36 @@ enum class QolsrVariant { kMpr1, kMpr2 };
 
 namespace qolsr_detail {
 
-/// MPR-1: RFC-3626-shaped greedy with QoS tie-breaks.
+/// MPR-1: RFC-3626-shaped greedy with QoS tie-breaks. Workspace form; all
+/// scratch comes from `ws`, the set lands in `out` (ascending global ids).
 template <Metric M>
-std::vector<NodeId> select_mpr1(const LocalView& view) {
+void select_mpr1(const LocalView& view, SelectionWorkspace& ws,
+                 std::vector<NodeId>& out) {
   const auto n = static_cast<std::uint32_t>(view.size());
-  std::vector<bool> covered(n, false);
-  std::vector<bool> selected(n, false);
+  ws.covered.assign(n, 0);
+  ws.in_ans.assign(n, 0);
+  auto& covered = ws.covered;
+  auto& selected = ws.in_ans;
   std::size_t uncovered_count = view.two_hop().size();
 
-  std::vector<std::vector<std::uint32_t>> covers(n);
-  std::vector<std::uint32_t> cover_count(n, 0);
-  std::vector<double> link_value(n, M::unreachable());
+  ws.reset_covers(n);
+  ws.cover_count.assign(n, 0);
+  ws.link_value.assign(n, M::unreachable());
+  auto& covers = ws.covers;
   for (std::uint32_t w : view.one_hop()) {
     for (const LocalView::LocalEdge& e : view.neighbors(w))
       if (view.is_two_hop(e.to)) covers[w].push_back(e.to);
-    for (std::uint32_t v : covers[w]) ++cover_count[v];
+    for (std::uint32_t v : covers[w]) ++ws.cover_count[v];
     if (const LinkQos* qos =
             view.local_edge_qos(LocalView::origin_index(), w))
-      link_value[w] = M::link_value(*qos);
+      ws.link_value[w] = M::link_value(*qos);
   }
 
   auto select = [&](std::uint32_t w) {
-    selected[w] = true;
+    selected[w] = 1;
     for (std::uint32_t v : covers[w]) {
       if (!covered[v]) {
-        covered[v] = true;
+        covered[v] = 1;
         --uncovered_count;
       }
     }
@@ -66,7 +72,7 @@ std::vector<NodeId> select_mpr1(const LocalView& view) {
   for (std::uint32_t w : view.one_hop()) {
     const bool sole = std::any_of(
         covers[w].begin(), covers[w].end(),
-        [&](std::uint32_t v) { return cover_count[v] == 1; });
+        [&](std::uint32_t v) { return ws.cover_count[v] == 1; });
     if (sole) select(w);
   }
 
@@ -88,9 +94,9 @@ std::vector<NodeId> select_mpr1(const LocalView& view) {
       bool take = false;
       if (gain != best_gain) {
         take = gain > best_gain;
-      } else if (M::better(link_value[w], link_value[best])) {
+      } else if (M::better(ws.link_value[w], ws.link_value[best])) {
         take = true;
-      } else if (!M::better(link_value[best], link_value[w])) {
+      } else if (!M::better(ws.link_value[best], ws.link_value[w])) {
         take = view.global_id(w) < view.global_id(best);
       }
       if (take) {
@@ -102,17 +108,18 @@ std::vector<NodeId> select_mpr1(const LocalView& view) {
     select(best);
   }
 
-  std::vector<NodeId> result;
+  out.clear();
   for (std::uint32_t w : view.one_hop())
-    if (selected[w]) result.push_back(view.global_id(w));
-  std::sort(result.begin(), result.end());
-  return result;
+    if (selected[w]) out.push_back(view.global_id(w));
+  std::sort(out.begin(), out.end());
 }
 
 /// MPR-2: per-2-hop-target nomination of the best 2-hop relay.
 template <Metric M>
-std::vector<NodeId> select_mpr2(const LocalView& view) {
-  std::vector<bool> selected(view.size(), false);
+void select_mpr2(const LocalView& view, SelectionWorkspace& ws,
+                 std::vector<NodeId>& out) {
+  ws.in_ans.assign(view.size(), 0);
+  auto& selected = ws.in_ans;
   for (std::uint32_t v : view.two_hop()) {
     std::uint32_t best = kInvalidNode;
     double best_path = M::unreachable();
@@ -140,24 +147,36 @@ std::vector<NodeId> select_mpr2(const LocalView& view) {
         best_link = link;
       }
     }
-    if (best != kInvalidNode) selected[best] = true;
+    if (best != kInvalidNode) selected[best] = 1;
   }
 
-  std::vector<NodeId> result;
+  out.clear();
   for (std::uint32_t w : view.one_hop())
-    if (selected[w]) result.push_back(view.global_id(w));
-  std::sort(result.begin(), result.end());
-  return result;
+    if (selected[w]) out.push_back(view.global_id(w));
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace qolsr_detail
 
+/// Workspace form: identical result to the allocating overload, scratch
+/// from `ws`, set written into `out`.
+template <Metric M>
+void select_qolsr_mpr(const LocalView& view, QolsrVariant variant,
+                      SelectionWorkspace& ws, std::vector<NodeId>& out) {
+  if (variant == QolsrVariant::kMpr1) {
+    qolsr_detail::select_mpr1<M>(view, ws, out);
+  } else {
+    qolsr_detail::select_mpr2<M>(view, ws, out);
+  }
+}
+
 template <Metric M>
 std::vector<NodeId> select_qolsr_mpr(const LocalView& view,
                                      QolsrVariant variant) {
-  return variant == QolsrVariant::kMpr1
-             ? qolsr_detail::select_mpr1<M>(view)
-             : qolsr_detail::select_mpr2<M>(view);
+  thread_local SelectionWorkspace ws;
+  std::vector<NodeId> result;
+  select_qolsr_mpr<M>(view, variant, ws, result);
+  return result;
 }
 
 }  // namespace qolsr

@@ -8,6 +8,7 @@
 #include "graph/local_view.hpp"
 #include "olsr/mpr.hpp"
 #include "olsr/qolsr_mpr.hpp"
+#include "olsr/selection_workspace.hpp"
 #include "olsr/topology_filtering.hpp"
 
 namespace qolsr {
@@ -27,6 +28,16 @@ class AnsSelector {
   /// global node ids, all members of N(origin).
   virtual std::vector<NodeId> select(const LocalView& view) const = 0;
 
+  /// Workspace form used by the eval hot loop: identical result, but all
+  /// scratch comes from `ws` and the set is written into `out` (cleared
+  /// first). The default forwards to `select`; heuristics with a
+  /// workspace-aware implementation override it to run allocation-free.
+  virtual void select_into(const LocalView& view, SelectionWorkspace& ws,
+                           std::vector<NodeId>& out) const {
+    (void)ws;
+    out = select(view);
+  }
+
   /// Whether routes over this protocol's advertised state are computed
   /// QoS-first. Original OLSR and QOLSR keep hop-count-primary routing
   /// (QoS only as tie-break; paper §II), the QANS designs route QoS-first.
@@ -39,6 +50,10 @@ class Rfc3626Selector final : public AnsSelector {
   std::string_view name() const override { return "olsr_mpr"; }
   std::vector<NodeId> select(const LocalView& view) const override {
     return select_mpr_rfc3626(view);
+  }
+  void select_into(const LocalView& view, SelectionWorkspace& ws,
+                   std::vector<NodeId>& out) const override {
+    select_mpr_rfc3626(view, ws, out);
   }
   bool qos_first_routing() const override { return false; }
 };
@@ -57,6 +72,10 @@ class QolsrSelector final : public AnsSelector {
   std::vector<NodeId> select(const LocalView& view) const override {
     return select_qolsr_mpr<M>(view, variant_);
   }
+  void select_into(const LocalView& view, SelectionWorkspace& ws,
+                   std::vector<NodeId>& out) const override {
+    select_qolsr_mpr<M>(view, variant_, ws, out);
+  }
   bool qos_first_routing() const override { return false; }
 
  private:
@@ -74,6 +93,10 @@ class TopologyFilteringSelector final : public AnsSelector {
   std::string_view name() const override { return name_; }
   std::vector<NodeId> select(const LocalView& view) const override {
     return select_topology_filtering_ans<M>(view);
+  }
+  void select_into(const LocalView& view, SelectionWorkspace& ws,
+                   std::vector<NodeId>& out) const override {
+    select_topology_filtering_ans<M>(view, ws, out);
   }
 
  private:

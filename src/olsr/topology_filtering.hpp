@@ -5,6 +5,7 @@
 
 #include "graph/local_view.hpp"
 #include "graph/rng_reduction.hpp"
+#include "olsr/selection_workspace.hpp"
 #include "path/first_hops.hpp"
 
 namespace qolsr {
@@ -20,29 +21,43 @@ namespace qolsr {
 /// calls out ("they will all be selected as advertised neighbors"), which
 /// FNBP removes.
 ///
-/// Returns ascending global ids.
+/// Returns ascending global ids in `out` (cleared first); the reduced view,
+/// the fP table and the selection flags all come from `ws`.
 template <Metric M>
-std::vector<NodeId> select_topology_filtering_ans(const LocalView& view) {
-  const LocalView reduced = rng_reduce<M>(view);
-  const FirstHopTable table = compute_first_hops<M>(reduced);
+void select_topology_filtering_ans(const LocalView& view,
+                                   SelectionWorkspace& ws,
+                                   std::vector<NodeId>& out) {
+  rng_reduce<M>(view, ws.reduced_view);
+  const LocalView& reduced = ws.reduced_view;
+  compute_first_hops<M>(reduced, ws.dijkstra, ws.first_hops);
+  const FirstHopTable& table = ws.first_hops;
 
-  std::vector<bool> in_ans(view.size(), false);
+  ws.in_ans.assign(view.size(), 0);
+  auto& in_ans = ws.in_ans;
   // 1-hop neighbors: select the best first hops whenever the direct link is
   // not itself on a best path in the reduced view.
   for (std::uint32_t v : reduced.one_hop()) {
     const auto& fp = table.fp[v];
     if (std::binary_search(fp.begin(), fp.end(), v)) continue;
-    for (std::uint32_t w : fp) in_ans[w] = true;
+    for (std::uint32_t w : fp) in_ans[w] = 1;
   }
   // 2-hop neighbors: every best first hop is advertised.
   for (std::uint32_t v : reduced.two_hop()) {
-    for (std::uint32_t w : table.fp[v]) in_ans[w] = true;
+    for (std::uint32_t w : table.fp[v]) in_ans[w] = 1;
   }
 
-  std::vector<NodeId> result;
+  out.clear();
   for (std::uint32_t w = 0; w < view.size(); ++w)
-    if (in_ans[w]) result.push_back(view.global_id(w));
-  std::sort(result.begin(), result.end());
+    if (in_ans[w] != 0) out.push_back(view.global_id(w));
+  std::sort(out.begin(), out.end());
+}
+
+/// Allocating convenience form (the original API).
+template <Metric M>
+std::vector<NodeId> select_topology_filtering_ans(const LocalView& view) {
+  thread_local SelectionWorkspace ws;
+  std::vector<NodeId> result;
+  select_topology_filtering_ans<M>(view, ws, result);
   return result;
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -29,10 +31,227 @@ struct DijkstraResult {
   }
 };
 
+/// Metric-specialized CSR mirror of a LocalView: neighbor id + extracted
+/// link value, 16 bytes per directed edge instead of the 56-byte
+/// LocalEdge/LinkQos record. `compute_first_hops` extracts once per view
+/// and amortizes it over the deg(u) inner Dijkstras — the edge scan is the
+/// hottest loop of the eval pipeline, and the full QoS record drags six
+/// unused doubles through cache per scanned edge.
+class WeightedLocalView {
+ public:
+  struct WeightedEdge {
+    std::uint32_t to;
+    double weight;  ///< M::link_value of the mirrored edge
+  };
+
+  /// Mirrors `view`, optionally dropping one vertex (all edges incident to
+  /// `excluded`): callers running many Dijkstras on G_u \ {u} pay for the
+  /// exclusion once here instead of per scanned edge per run.
+  template <Metric M>
+  void assign(const LocalView& view, std::uint32_t excluded = kInvalidNode) {
+    const auto n = static_cast<std::uint32_t>(view.size());
+    row_begin_.resize(n + 1);
+    edges_.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      row_begin_[i] = static_cast<std::uint32_t>(edges_.size());
+      if (i == excluded) continue;
+      for (const LocalView::LocalEdge& e : view.neighbors(i))
+        if (e.to != excluded) edges_.push_back({e.to, M::link_value(e.qos)});
+    }
+    row_begin_[n] = static_cast<std::uint32_t>(edges_.size());
+  }
+
+  std::size_t node_count() const {
+    return row_begin_.empty() ? 0 : row_begin_.size() - 1;
+  }
+  std::span<const WeightedEdge> neighbors(std::uint32_t i) const {
+    return {edges_.data() + row_begin_[i], row_begin_[i + 1] - row_begin_[i]};
+  }
+
+ private:
+  std::vector<std::uint32_t> row_begin_;
+  std::vector<WeightedEdge> edges_;
+};
+
+/// Reusable scratch + label store for `dijkstra`/`dijkstra_min_hop`.
+///
+/// Labels are epoch-stamped: `begin(n)` bumps the epoch instead of clearing
+/// the arrays, so consecutive runs touch only the nodes they actually reach
+/// and perform zero heap allocation once the arrays are warm (the eval
+/// pipeline runs deg(u) Dijkstras per node per sampled topology — see
+/// DESIGN.md §5). After a run, `reached(v)` tells whether v was labeled this
+/// epoch; `value/hops/parent(v)` are final labels, valid only when reached.
+///
+/// The priority queue is an indexed 4-ary heap with decrease-key: each
+/// touched, unsettled node holds exactly one entry (improvements sift the
+/// existing entry up instead of pushing a duplicate), so the heap never
+/// carries stale entries and every pop settles a node. 4-ary keeps the
+/// sift paths short on the small frontiers of 2-hop views.
+///
+/// One workspace per thread; the begin/label/settle/heap members are the
+/// algorithm's machinery and not meant for external callers.
+class DijkstraWorkspace {
+ public:
+  bool reached(std::uint32_t v) const { return (state_[v] >> 1) == epoch_; }
+  double value(std::uint32_t v) const { return labels_[v].value; }
+  std::uint32_t hops(std::uint32_t v) const { return labels_[v].hops; }
+  std::uint32_t parent(std::uint32_t v) const {
+    return reached(v) ? labels_[v].parent : kInvalidNode;
+  }
+  /// Node count of the last run.
+  std::size_t size() const { return size_; }
+
+  /// Exports the labels in the legacy dense form.
+  template <Metric M>
+  DijkstraResult to_result() const {
+    DijkstraResult result;
+    result.value.assign(size_, M::unreachable());
+    result.hops.assign(size_, 0);
+    result.parent.assign(size_, kInvalidNode);
+    for (std::uint32_t v = 0; v < size_; ++v) {
+      if (!reached(v)) continue;
+      result.value[v] = labels_[v].value;
+      result.hops[v] = labels_[v].hops;
+      result.parent[v] = labels_[v].parent;
+    }
+    return result;
+  }
+
+  // -- algorithm machinery ------------------------------------------------
+
+  struct Entry {
+    double value;
+    std::uint32_t hops;
+    std::uint32_t node;
+  };
+
+  /// Starts a run over `n` nodes: O(1) amortized, allocation-free once the
+  /// arrays have grown to the largest graph seen.
+  void begin(std::size_t n) {
+    size_ = n;
+    if (state_.size() < n) {
+      state_.resize(n, 0);
+      labels_.resize(n);
+      heap_pos_.resize(n);
+    }
+    // state_[v] packs (label epoch << 1) | settled; epoch 2^31 wraps.
+    if (++epoch_ == (1u << 31)) {
+      std::fill(state_.begin(), state_.end(), 0);
+      epoch_ = 1;
+    }
+    heap_.clear();
+  }
+
+  /// (Re)labels v; first touch this epoch also clears its settled bit.
+  void label(std::uint32_t v, double value, std::uint32_t hops,
+             std::uint32_t parent) {
+    state_[v] = epoch_ << 1;
+    labels_[v] = {value, hops, parent};
+  }
+
+  bool settled(std::uint32_t v) const {
+    return state_[v] == ((epoch_ << 1) | 1u);
+  }
+  void settle(std::uint32_t v) { state_[v] |= 1u; }
+
+  bool heap_empty() const { return heap_.empty(); }
+
+  /// Scratch for callers that mirror a LocalView before running several
+  /// Dijkstras on it (compute_first_hops); lives here so one per-thread
+  /// workspace carries all path-engine scratch.
+  WeightedLocalView local_csr;
+  /// compute_first_hops scratch: (direct-link value, one-hop local id).
+  std::vector<std::pair<double, std::uint32_t>> first_hop_order;
+
+  template <typename BetterFn>
+  void heap_push(double value, std::uint32_t hops, std::uint32_t node,
+                 const BetterFn& better) {
+    heap_.push_back({value, hops, node});
+    heap_pos_[node] = static_cast<std::uint32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1, better);
+  }
+
+  /// Decrease-key: the entry of `node` (which must be queued) takes the
+  /// strictly better (value, hops) and sifts up.
+  template <typename BetterFn>
+  void heap_improve(std::uint32_t node, double value, std::uint32_t hops,
+                    const BetterFn& better) {
+    const std::size_t i = heap_pos_[node];
+    heap_[i].value = value;
+    heap_[i].hops = hops;
+    sift_up(i, better);
+  }
+
+  template <typename BetterFn>
+  Entry heap_pop(const BetterFn& better) {
+    const Entry top = heap_.front();
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      heap_pos_[last.node] = 0;
+      sift_down(0, better);
+    }
+    return top;
+  }
+
+ private:
+  // Both sifts move the displaced entry through a hole and write it once at
+  // its final slot, instead of swapping (and re-stamping heap_pos_) per
+  // level.
+  template <typename BetterFn>
+  void sift_up(std::size_t i, const BetterFn& better) {
+    const Entry moving = heap_[i];
+    while (i > 0) {
+      const std::size_t up = (i - 1) / 4;
+      if (!better(moving, heap_[up])) break;
+      heap_[i] = heap_[up];
+      heap_pos_[heap_[i].node] = static_cast<std::uint32_t>(i);
+      i = up;
+    }
+    heap_[i] = moving;
+    heap_pos_[moving.node] = static_cast<std::uint32_t>(i);
+  }
+
+  template <typename BetterFn>
+  void sift_down(std::size_t i, const BetterFn& better) {
+    const std::size_t n = heap_.size();
+    const Entry moving = heap_[i];
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < end; ++c)
+        if (better(heap_[c], heap_[best])) best = c;
+      if (!better(heap_[best], moving)) break;
+      heap_[i] = heap_[best];
+      heap_pos_[heap_[i].node] = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = moving;
+    heap_pos_[moving.node] = static_cast<std::uint32_t>(i);
+  }
+
+  struct Label {
+    double value;
+    std::uint32_t hops;
+    std::uint32_t parent;
+  };
+
+  std::vector<std::uint32_t> state_;  ///< (epoch << 1) | settled
+  std::uint32_t epoch_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Label> labels_;
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> heap_pos_;  ///< valid while queued
+};
+
 namespace dijkstra_detail {
 
 inline std::size_t graph_size(const LocalView& g) { return g.size(); }
-/// Any graph-like type exposing node_count() (Graph, DirectedGraph, …).
+/// Any graph-like type exposing node_count() (Graph, DirectedGraph,
+/// WeightedLocalView, …).
 template <typename G>
   requires requires(const G& g) {
     { g.node_count() } -> std::convertible_to<std::size_t>;
@@ -41,19 +260,70 @@ std::size_t graph_size(const G& g) {
   return g.node_count();
 }
 
+/// Link value of an adjacency record: a full QoS record yields the
+/// metric's component, a WeightedEdge carries it pre-extracted.
+template <Metric M, typename E>
+double edge_weight(const E& e) {
+  if constexpr (requires { e.qos; }) {
+    return M::link_value(e.qos);
+  } else {
+    return e.weight;
+  }
+}
+
 /// (value, hops) lexicographic "a strictly better than b" under metric M.
 template <Metric M>
 bool lex_better(double av, std::uint32_t ah, double bv, std::uint32_t bh) {
+  // Exact ties dominate under concave metrics (every path through one
+  // bottleneck link copies its value), and this is the hottest comparison
+  // in the codebase — short-circuit before the tolerant compares.
+  if (av == bv) return ah < bh;
   if (M::better(av, bv)) return true;
   if (M::better(bv, av)) return false;
   // Values tie (within tolerance): fewer hops wins.
   return metric_equal(av, bv) ? ah < bh : false;
 }
 
+/// Shared label-setting loop; `entry_better` defines the pop order, and
+/// `relax_better` decides whether a candidate label replaces the current
+/// one. Both orders must agree for label-setting to be exact. With the
+/// indexed heap, every pop settles its node and improvements are
+/// decrease-keys on the live entry.
+template <Metric M, typename G, typename EntryBetter, typename RelaxBetter>
+void run_label_setting(const G& graph, std::uint32_t source,
+                       std::uint32_t excluded, DijkstraWorkspace& ws,
+                       const EntryBetter& entry_better,
+                       const RelaxBetter& relax_better) {
+  ws.begin(graph_size(graph));
+  if (source == excluded || source >= ws.size()) return;
+  ws.label(source, M::identity(), 0, kInvalidNode);
+  ws.heap_push(M::identity(), 0, source, entry_better);
+
+  while (!ws.heap_empty()) {
+    const DijkstraWorkspace::Entry top = ws.heap_pop(entry_better);
+    ws.settle(top.node);
+    for (const auto& edge : graph.neighbors(top.node)) {
+      const std::uint32_t next = edge.to;
+      if (next == excluded) continue;
+      const double cand = M::combine(top.value, edge_weight<M>(edge));
+      const std::uint32_t cand_hops = top.hops + 1;
+      if (!ws.reached(next)) {
+        ws.label(next, cand, cand_hops, top.node);
+        ws.heap_push(cand, cand_hops, next, entry_better);
+      } else if (!ws.settled(next) &&
+                 relax_better(cand, cand_hops, ws.value(next),
+                              ws.hops(next))) {
+        ws.label(next, cand, cand_hops, top.node);
+        ws.heap_improve(next, cand, cand_hops, entry_better);
+      }
+    }
+  }
+}
+
 }  // namespace dijkstra_detail
 
-/// Generic label-setting Dijkstra over either the full `Graph` or a
-/// `LocalView`, parameterized by the metric algebra:
+/// Generic label-setting Dijkstra over the full `Graph`, a `LocalView`, or
+/// a `WeightedLocalView` mirror, parameterized by the metric algebra:
 ///
 ///  * additive metrics (delay…): classic min-sum shortest path;
 ///  * concave metrics (bandwidth…): widest path (max-min).
@@ -64,54 +334,31 @@ bool lex_better(double av, std::uint32_t ah, double bv, std::uint32_t bh) {
 /// Correctness requires combine() to be non-improving (see metric.hpp);
 /// then the lexicographic (value, hops) order is label-setting: a popped
 /// vertex is final.
+///
+/// This overload reuses `ws` across calls (zero steady-state allocation);
+/// read the labels through the workspace accessors.
+template <Metric M, typename G>
+void dijkstra(const G& graph, std::uint32_t source, std::uint32_t excluded,
+              DijkstraWorkspace& ws) {
+  auto entry_better = [](const DijkstraWorkspace::Entry& a,
+                         const DijkstraWorkspace::Entry& b) {
+    return dijkstra_detail::lex_better<M>(a.value, a.hops, b.value, b.hops);
+  };
+  dijkstra_detail::run_label_setting<M>(
+      graph, source, excluded, ws, entry_better,
+      [](double av, std::uint32_t ah, double bv, std::uint32_t bh) {
+        return dijkstra_detail::lex_better<M>(av, ah, bv, bh);
+      });
+}
+
+/// Allocating convenience form (the original API); same engine and labels
+/// as the workspace overload, exported densely.
 template <Metric M, typename G>
 DijkstraResult dijkstra(const G& graph, std::uint32_t source,
                         std::uint32_t excluded = kInvalidNode) {
-  const std::size_t n = dijkstra_detail::graph_size(graph);
-  DijkstraResult result;
-  result.value.assign(n, M::unreachable());
-  result.hops.assign(n, 0);
-  result.parent.assign(n, kInvalidNode);
-
-  struct Entry {
-    double value;
-    std::uint32_t hops;
-    std::uint32_t node;
-  };
-  // priority_queue pops the comparator-largest element; "largest" must be
-  // the lexicographically best entry.
-  auto worse = [](const Entry& a, const Entry& b) {
-    return dijkstra_detail::lex_better<M>(b.value, b.hops, a.value, a.hops);
-  };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
-
-  if (source == excluded) return result;
-  result.value[source] = M::identity();
-  queue.push({M::identity(), 0, source});
-
-  std::vector<bool> settled(n, false);
-  while (!queue.empty()) {
-    const Entry top = queue.top();
-    queue.pop();
-    if (settled[top.node]) continue;
-    settled[top.node] = true;
-    for (const auto& edge : graph.neighbors(top.node)) {
-      const std::uint32_t next = edge.to;
-      if (next == excluded || settled[next]) continue;
-      const double cand = M::combine(top.value, M::link_value(edge.qos));
-      const std::uint32_t cand_hops = top.hops + 1;
-      const bool first_touch = result.value[next] == M::unreachable();
-      if (first_touch ||
-          dijkstra_detail::lex_better<M>(cand, cand_hops, result.value[next],
-                                         result.hops[next])) {
-        result.value[next] = cand;
-        result.hops[next] = cand_hops;
-        result.parent[next] = top.node;
-        queue.push({cand, cand_hops, next});
-      }
-    }
-  }
-  return result;
+  thread_local DijkstraWorkspace ws;
+  dijkstra<M>(graph, source, excluded, ws);
+  return ws.to_result<M>();
 }
 
 /// Hop-count-primary variant: minimizes hops, breaking ties by the better
@@ -122,55 +369,27 @@ DijkstraResult dijkstra(const G& graph, std::uint32_t source,
 /// exactly one, combine() is monotone in its first argument), so plain
 /// label-setting is exact here for both metric families.
 template <Metric M, typename G>
-DijkstraResult dijkstra_min_hop(const G& graph, std::uint32_t source,
-                                std::uint32_t excluded = kInvalidNode) {
-  const std::size_t n = dijkstra_detail::graph_size(graph);
-  DijkstraResult result;
-  result.value.assign(n, M::unreachable());
-  result.hops.assign(n, 0);
-  result.parent.assign(n, kInvalidNode);
-
-  struct Entry {
-    double value;
-    std::uint32_t hops;
-    std::uint32_t node;
-  };
+void dijkstra_min_hop(const G& graph, std::uint32_t source,
+                      std::uint32_t excluded, DijkstraWorkspace& ws) {
   auto hop_lex_better = [](double av, std::uint32_t ah, double bv,
                            std::uint32_t bh) {
     if (ah != bh) return ah < bh;
     return M::better(av, bv);
   };
-  auto worse = [hop_lex_better](const Entry& a, const Entry& b) {
-    return hop_lex_better(b.value, b.hops, a.value, a.hops);
+  auto entry_better = [hop_lex_better](const DijkstraWorkspace::Entry& a,
+                                       const DijkstraWorkspace::Entry& b) {
+    return hop_lex_better(a.value, a.hops, b.value, b.hops);
   };
-  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> queue(worse);
+  dijkstra_detail::run_label_setting<M>(graph, source, excluded, ws,
+                                        entry_better, hop_lex_better);
+}
 
-  if (source == excluded) return result;
-  result.value[source] = M::identity();
-  queue.push({M::identity(), 0, source});
-
-  std::vector<bool> settled(n, false);
-  while (!queue.empty()) {
-    const Entry top = queue.top();
-    queue.pop();
-    if (settled[top.node]) continue;
-    settled[top.node] = true;
-    for (const auto& edge : graph.neighbors(top.node)) {
-      const std::uint32_t next = edge.to;
-      if (next == excluded || settled[next]) continue;
-      const double cand = M::combine(top.value, M::link_value(edge.qos));
-      const std::uint32_t cand_hops = top.hops + 1;
-      const bool first_touch = result.value[next] == M::unreachable();
-      if (first_touch || hop_lex_better(cand, cand_hops, result.value[next],
-                                        result.hops[next])) {
-        result.value[next] = cand;
-        result.hops[next] = cand_hops;
-        result.parent[next] = top.node;
-        queue.push({cand, cand_hops, next});
-      }
-    }
-  }
-  return result;
+template <Metric M, typename G>
+DijkstraResult dijkstra_min_hop(const G& graph, std::uint32_t source,
+                                std::uint32_t excluded = kInvalidNode) {
+  thread_local DijkstraWorkspace ws;
+  dijkstra_min_hop<M>(graph, source, excluded, ws);
+  return ws.to_result<M>();
 }
 
 /// Reconstructs the node sequence source..target from `parent` pointers.

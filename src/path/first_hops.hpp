@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -36,32 +37,113 @@ struct FirstHopTable {
 /// wrong for concave metrics: min-composition saturates, the tight-edge
 /// relation has cycles, and non-simple "best" paths through u would be
 /// counted. deg(u) small Dijkstras are exact and cheap on a 2-hop view.)
+///
+/// This overload reuses `ws` for all deg(u) inner Dijkstras and `out`'s
+/// vectors (including the per-destination fp lists) across calls, so a
+/// caller sweeping every node of a run allocates nothing in steady state.
+///
+/// For concave metrics the neighbors are processed by descending direct
+/// link (enabling the saturation cutoff below); since incremental
+/// better/tie filtering uses the tolerant metric_equal, whose 1e-9 band is
+/// not transitive, results are guaranteed identical to ascending-order
+/// processing except when *distinct* candidate path values fall within
+/// each other's tolerance bands — impossible for integral weights (ties
+/// are exact) and probability-zero for continuous draws.
 template <Metric M>
-FirstHopTable compute_first_hops(const LocalView& view) {
+void compute_first_hops(const LocalView& view, DijkstraWorkspace& ws,
+                        FirstHopTable& out) {
   const auto n = static_cast<std::uint32_t>(view.size());
-  FirstHopTable table;
-  table.best.assign(n, M::unreachable());
-  table.fp.assign(n, {});
-  table.best[LocalView::origin_index()] = M::identity();
+  out.best.assign(n, M::unreachable());
+  if (out.fp.size() != n) out.fp.resize(n);
+  for (auto& list : out.fp) list.clear();
+  if (n == 0) return;
+  out.best[LocalView::origin_index()] = M::identity();
 
-  for (std::uint32_t w : view.one_hop()) {
-    const LinkQos* first_link =
-        view.local_edge_qos(LocalView::origin_index(), w);
-    if (first_link == nullptr) continue;  // filtered out by a reduction
-    const double first_value = M::link_value(*first_link);
-    const DijkstraResult from_w =
-        dijkstra<M>(view, w, /*excluded=*/LocalView::origin_index());
+  // One metric-specialized CSR extraction with u already removed,
+  // amortized over the deg(u) Dijkstras below (16B/edge scans instead of
+  // full QoS records, no per-edge exclusion test).
+  ws.local_csr.assign<M>(view, LocalView::origin_index());
+
+  // Runs the Dijkstra rooted at one-hop neighbor w and folds its distances
+  // into the table. Returns the number of destinations whose fp went from
+  // empty to non-empty.
+  auto run_from = [&](std::uint32_t w, double first_value) {
+    std::uint32_t newly_reached = 0;
+    dijkstra<M>(ws.local_csr, w, /*excluded=*/kInvalidNode, ws);
     for (std::uint32_t v = 1; v < n; ++v) {
-      if (from_w.value[v] == M::unreachable()) continue;
-      const double cand = M::combine(first_value, from_w.value[v]);
-      if (table.fp[v].empty() || M::better(cand, table.best[v])) {
-        table.best[v] = cand;
-        table.fp[v].assign(1, w);
-      } else if (metric_equal(cand, table.best[v])) {
-        table.fp[v].push_back(w);
+      if (!ws.reached(v)) continue;
+      const double cand = M::combine(first_value, ws.value(v));
+      if (!out.fp[v].empty() && cand == out.best[v]) {
+        out.fp[v].push_back(w);  // exact tie — the common case
+      } else if (out.fp[v].empty() || M::better(cand, out.best[v])) {
+        if (out.fp[v].empty()) ++newly_reached;
+        out.best[v] = cand;
+        out.fp[v].assign(1, w);
+      } else if (metric_equal(cand, out.best[v])) {
+        out.fp[v].push_back(w);
       }
     }
+    return newly_reached;
+  };
+
+  if constexpr (M::kind == MetricKind::kConcave) {
+    // Saturation cutoff: via-w values never exceed q(u,w) under min-
+    // composition, so once every destination is reached and q(u,w) is
+    // strictly (beyond any tolerance) below the weakest current best, w
+    // cannot enter any fp set. Processing neighbors by descending direct
+    // link turns the cutoff into a loop exit; fp lists are re-sorted to
+    // the canonical ascending order afterwards.
+    auto& order = ws.first_hop_order;
+    order.clear();
+    for (std::uint32_t w : view.one_hop()) {
+      const LinkQos* first_link =
+          view.local_edge_qos(LocalView::origin_index(), w);
+      if (first_link == nullptr) continue;  // filtered out by a reduction
+      order.push_back({M::link_value(*first_link), w});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const std::pair<double, std::uint32_t>& a,
+                 const std::pair<double, std::uint32_t>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+
+    std::uint32_t unreached = n - 1;
+    for (const auto& [first_value, w] : order) {
+      if (unreached == 0) {
+        // Weakest current best, and the largest magnitude bounding the
+        // metric_equal tolerance band (same max(·,1) floor as values_equal;
+        // a 10× margin keeps the cutoff strictly outside the band).
+        double weakest = out.best[1];
+        double largest = 1.0;
+        for (std::uint32_t v = 1; v < n; ++v) {
+          if (out.best[v] < weakest) weakest = out.best[v];
+          const double mag = std::fabs(out.best[v]);
+          if (mag > largest) largest = mag;
+        }
+        if (first_value < weakest - 10.0 * kMetricRelTolerance * largest)
+          break;
+      }
+      unreached -= run_from(w, first_value);
+    }
+    for (std::uint32_t v = 1; v < n; ++v)
+      std::sort(out.fp[v].begin(), out.fp[v].end());
+  } else {
+    for (std::uint32_t w : view.one_hop()) {
+      const LinkQos* first_link =
+          view.local_edge_qos(LocalView::origin_index(), w);
+      if (first_link == nullptr) continue;  // filtered out by a reduction
+      run_from(w, M::link_value(*first_link));
+    }
   }
+}
+
+/// Allocating convenience form (the original API).
+template <Metric M>
+FirstHopTable compute_first_hops(const LocalView& view) {
+  thread_local DijkstraWorkspace ws;
+  FirstHopTable table;
+  compute_first_hops<M>(view, ws, table);
   return table;
 }
 
