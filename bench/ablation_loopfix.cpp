@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
   options.loop_fix = false;
   const FnbpSelector<BandwidthMetric> without_fix(options);
   // The selector name is identical; label the columns manually.
-  const auto sweep =
-      run_sweep<BandwidthMetric>(scenario, {&with_fix, &without_fix});
+  const auto sweep = run_sweep<BandwidthMetric>(
+      scenario, {&with_fix, &without_fix}, args.config.threads);
 
   util::Table table({"density", "size_fix", "size_nofix", "ovh_fix",
                      "ovh_nofix", "fail_fix", "fail_nofix"});

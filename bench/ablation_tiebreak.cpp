@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
   FnbpOptions options;
   options.qos_tiebreak = false;
   const FnbpSelector<BandwidthMetric> id_pick(options);
-  const auto sweep =
-      run_sweep<BandwidthMetric>(scenario, {&qos_pick, &id_pick});
+  const auto sweep = run_sweep<BandwidthMetric>(scenario, {&qos_pick, &id_pick},
+                                                args.config.threads);
 
   util::Table table({"density", "size_qos", "size_id", "ovh_qos", "ovh_id"});
   for (const DensityStats& d : sweep) {

@@ -17,10 +17,13 @@ BenchArgs parse_args(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(arg + 7, nullptr, 10));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       args.config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.config.threads =
+          static_cast<unsigned>(std::strtoul(arg + 10, nullptr, 10));
     } else if (std::strcmp(arg, "--csv") == 0) {
       args.csv = true;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::cout << "usage: [--runs=N] [--seed=S] [--csv]\n";
+      std::cout << "usage: [--runs=N] [--seed=S] [--threads=T] [--csv]\n";
       std::exit(0);
     }
   }

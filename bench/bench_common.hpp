@@ -8,10 +8,12 @@
 namespace qolsr::bench {
 
 /// Command-line knobs shared by the figure harnesses:
-///   --runs=N   runs per density (default 100, the paper's setting;
-///              QOLSR_BENCH_RUNS overrides the default)
-///   --seed=S   base RNG seed (default 42)
-///   --csv      additionally emit CSV after the table
+///   --runs=N     runs per density (default 100, the paper's setting;
+///                QOLSR_BENCH_RUNS overrides the default)
+///   --seed=S     base RNG seed (default 42)
+///   --threads=T  run_sweep worker threads (default 0 = hardware
+///                concurrency; timing runs pass 1 for determinism)
+///   --csv        additionally emit CSV after the table
 struct BenchArgs {
   FigureConfig config;
   bool csv = false;

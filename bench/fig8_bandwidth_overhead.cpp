@@ -8,9 +8,10 @@
 int main(int argc, char** argv) {
   using namespace qolsr;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
-  const auto sweep = bandwidth_sweep(args.config);
+  const auto result = run_experiment(figure_spec(8, args.config));
   bench::emit(args, "Fig. 8 — bandwidth overhead vs density",
-              overhead_table(sweep));
-  std::cout << "\n# diagnostics\n" << diagnostics_table(sweep).to_string();
+              overhead_table(result.sweep));
+  std::cout << "\n# diagnostics\n"
+            << diagnostics_table(result.sweep).to_string();
   return 0;
 }

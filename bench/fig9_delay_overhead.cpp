@@ -7,9 +7,10 @@
 int main(int argc, char** argv) {
   using namespace qolsr;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
-  const auto sweep = delay_sweep(args.config);
+  const auto result = run_experiment(figure_spec(9, args.config));
   bench::emit(args, "Fig. 9 — delay overhead vs density",
-              overhead_table(sweep));
-  std::cout << "\n# diagnostics\n" << diagnostics_table(sweep).to_string();
+              overhead_table(result.sweep));
+  std::cout << "\n# diagnostics\n"
+            << diagnostics_table(result.sweep).to_string();
   return 0;
 }

@@ -1,24 +1,31 @@
 #!/usr/bin/env bash
-# Builds the micro benchmarks in Release and records their results as
-# BENCH_micro.json at the repo root, so successive PRs leave a perf
-# trajectory. Usage:
+# Builds the benchmarks in Release and records the results at the repo
+# root, so successive PRs leave a perf trajectory:
+#   BENCH_micro.json — google-benchmark micro suites
+#   BENCH_sweep.json — wall-clock of an end-to-end qolsr_eval sweep
+# Usage:
 #
 #   scripts/bench.sh [--quick]
 #
-# --quick lowers the per-benchmark minimum time (smoke run, noisier).
+# --quick lowers the per-benchmark minimum time and shrinks the sweep
+# (smoke run, noisier).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 ROOT="$(pwd)"
 BUILD_DIR="${BENCH_BUILD_DIR:-build-bench}"
 MIN_TIME="0.5"
+SWEEP_RUNS="10"
+SWEEP_REPS="2"
 if [[ "${1:-}" == "--quick" ]]; then
   MIN_TIME="0.05"
+  SWEEP_RUNS="5"
+  SWEEP_REPS="1"
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target micro_selection micro_path micro_sim
+  --target micro_selection micro_path micro_sim qolsr_eval
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -54,4 +61,40 @@ merged["commit"] = commit
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
 print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+PY
+
+# End-to-end sweep timing: the paper's Fig. 6 experiment through the
+# runtime engine (qolsr_eval), single-threaded for determinism and with
+# all cores, best of $SWEEP_REPS wall-clock reps each.
+python3 - "$BUILD_DIR/qolsr_eval" "$ROOT/BENCH_sweep.json" \
+    "$SWEEP_RUNS" "$SWEEP_REPS" <<'PY'
+import json
+import subprocess
+import sys
+import time
+
+binary, out_path, runs, reps = (sys.argv[1], sys.argv[2], sys.argv[3],
+                                int(sys.argv[4]))
+results = []
+for threads in ("1", "0"):
+    flags = [f"--figure=6", f"--runs={runs}", "--seed=42",
+             f"--threads={threads}", "--format=csv"]
+    timings = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        subprocess.run([binary, *flags], check=True,
+                       stdout=subprocess.DEVNULL)
+        timings.append(time.perf_counter() - start)
+    results.append({"name": f"fig6_sweep/runs={runs}/threads={threads}",
+                    "flags": flags, "reps": reps,
+                    "best_seconds": min(timings),
+                    "mean_seconds": sum(timings) / len(timings)})
+try:
+    commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                            capture_output=True, text=True).stdout.strip()
+except OSError:
+    commit = ""
+with open(out_path, "w") as f:
+    json.dump({"commit": commit, "benchmarks": results}, f, indent=1)
+print(f"wrote {out_path} ({len(results)} sweep timings)")
 PY

@@ -1,0 +1,210 @@
+#include "eval/experiment.hpp"
+
+#include <charconv>
+#include <memory>
+
+namespace qolsr {
+
+namespace {
+
+std::vector<std::string> split_list(std::string_view text) {
+  std::vector<std::string> parts;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string_view part = text.substr(0, comma);
+    if (!part.empty()) parts.emplace_back(part);
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return parts;
+}
+
+double parse_double(std::string_view flag, std::string_view text) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ExperimentError("flag " + std::string(flag) + ": '" +
+                          std::string(text) + "' is not a number");
+  return value;
+}
+
+std::uint64_t parse_uint(std::string_view flag, std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ExperimentError("flag " + std::string(flag) + ": '" +
+                          std::string(text) + "' is not a non-negative integer");
+  return value;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const SelectorRegistry& registry) {
+  if (spec.selectors.empty())
+    throw ExperimentError("experiment '" + spec.name +
+                          "': no selectors named");
+  if (spec.scenario.densities.empty())
+    throw ExperimentError("experiment '" + spec.name +
+                          "': no densities to sweep");
+  if (spec.scenario.runs == 0)
+    throw ExperimentError("experiment '" + spec.name + "': runs must be > 0");
+
+  std::vector<std::unique_ptr<AnsSelector>> owned;
+  owned.reserve(spec.selectors.size());
+  std::vector<const AnsSelector*> selectors;
+  selectors.reserve(spec.selectors.size());
+  try {
+    for (const std::string& name : spec.selectors) {
+      owned.push_back(registry.create(name, spec.metric));
+      selectors.push_back(owned.back().get());
+    }
+  } catch (const std::invalid_argument& e) {
+    throw ExperimentError("experiment '" + spec.name + "': " + e.what());
+  }
+
+  Scenario scenario = spec.scenario;
+  scenario.record_runs = scenario.record_runs || spec.per_run;
+
+  ExperimentResult result;
+  result.spec = spec;
+  try {
+    result.sweep = dispatch_metric(spec.metric, [&](auto tag) {
+      using M = typename decltype(tag)::type;
+      return run_sweep<M>(scenario, selectors, spec.threads);
+    });
+  } catch (const ExperimentError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ExperimentError("experiment '" + spec.name + "': " + e.what());
+  }
+  return result;
+}
+
+ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
+                                     ExperimentSpec base) {
+  ExperimentSpec spec = std::move(base);
+  for (const std::string& arg : args) {
+    const std::string_view view = arg;
+    const std::size_t eq = view.find('=');
+    const std::string_view flag = view.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{} : view.substr(eq + 1);
+    // Valueless switches reject an attached value: silently discarding it
+    // would turn "--per-run=false" into an enable.
+    const auto require_no_value = [&] {
+      if (eq != std::string_view::npos)
+        throw ExperimentError("flag " + std::string(flag) +
+                              " takes no value (got '" + std::string(value) +
+                              "')");
+    };
+
+    if (flag == "--name") {
+      spec.name = value;
+    } else if (flag == "--metric") {
+      const auto id = parse_metric_id(value);
+      if (!id) {
+        std::string known;
+        for (MetricId m : kAllMetricIds)
+          known += (known.empty() ? "" : " ") + std::string(metric_name(m));
+        throw ExperimentError("flag --metric: unknown metric '" +
+                              std::string(value) + "' (known: " + known + ")");
+      }
+      spec.metric = *id;
+    } else if (flag == "--selectors") {
+      spec.selectors = split_list(value);
+    } else if (flag == "--densities") {
+      spec.scenario.densities.clear();
+      for (const std::string& d : split_list(value))
+        spec.scenario.densities.push_back(parse_double(flag, d));
+    } else if (flag == "--runs") {
+      spec.scenario.runs = parse_uint(flag, value);
+    } else if (flag == "--seed") {
+      spec.scenario.seed = parse_uint(flag, value);
+    } else if (flag == "--threads") {
+      spec.threads = static_cast<unsigned>(parse_uint(flag, value));
+    } else if (flag == "--field") {
+      const std::size_t x = value.find('x');
+      if (x == std::string_view::npos)
+        throw ExperimentError("flag --field: expected WIDTHxHEIGHT, got '" +
+                              std::string(value) + "'");
+      spec.scenario.field.width = parse_double(flag, value.substr(0, x));
+      spec.scenario.field.height = parse_double(flag, value.substr(x + 1));
+    } else if (flag == "--radius") {
+      spec.scenario.field.radius = parse_double(flag, value);
+    } else if (flag == "--qos-hi") {
+      // Magnitude-style intervals only; jitter (0..1) and loss (0..0.2)
+      // are probability-shaped and keep their form.
+      const double hi = parse_double(flag, value);
+      spec.scenario.qos.bandwidth_hi = hi;
+      spec.scenario.qos.delay_hi = hi;
+      spec.scenario.qos.energy_hi = hi;
+      spec.scenario.qos.buffers_hi = hi;
+    } else if (flag == "--continuous-qos") {
+      require_no_value();
+      spec.scenario.qos.integral = false;
+    } else if (flag == "--routing") {
+      if (value == "union") {
+        spec.scenario.routing_model = Scenario::RoutingModel::kAdvertisedUnion;
+      } else if (value == "chain") {
+        spec.scenario.routing_model = Scenario::RoutingModel::kAnsChain;
+      } else {
+        throw ExperimentError("flag --routing: expected union|chain, got '" +
+                              std::string(value) + "'");
+      }
+    } else if (flag == "--hop-by-hop") {
+      require_no_value();
+      spec.scenario.hop_by_hop = true;
+    } else if (flag == "--pairs") {
+      if (value == "two_hop") {
+        spec.scenario.pair_mode = Scenario::PairMode::kTwoHop;
+      } else if (value == "any") {
+        spec.scenario.pair_mode = Scenario::PairMode::kAnyConnected;
+      } else {
+        throw ExperimentError("flag --pairs: expected two_hop|any, got '" +
+                              std::string(value) + "'");
+      }
+    } else if (flag == "--max-resamples") {
+      spec.scenario.max_topology_resamples = parse_uint(flag, value);
+    } else if (flag == "--format") {
+      spec.format = value;
+    } else if (flag == "--output") {
+      spec.output_path = value;
+    } else if (flag == "--per-run") {
+      require_no_value();
+      spec.per_run = true;
+    } else {
+      throw ExperimentError("unknown flag '" + std::string(flag) +
+                            "' (see --help)");
+    }
+  }
+  return spec;
+}
+
+std::string experiment_flags_help() {
+  return
+      "  --name=S              experiment name (labels the output)\n"
+      "  --metric=NAME         bandwidth|delay|jitter|loss|energy|buffers\n"
+      "  --selectors=A,B,...   protocols, column order (see --list-selectors)\n"
+      "  --densities=D1,D2,... mean-degree sweep points\n"
+      "  --runs=N              runs per density (default 100)\n"
+      "  --seed=S              base RNG seed (default 42)\n"
+      "  --threads=T           worker threads; 0 = hardware concurrency\n"
+      "  --field=WxH           deployment field size (default 1000x1000)\n"
+      "  --radius=R            unit-disk link radius (default 100)\n"
+      "  --qos-hi=V            upper bound of the magnitude-style QoS\n"
+      "                        intervals (bandwidth, delay, energy, buffers;\n"
+      "                        jitter and loss keep their 0..1 / 0..0.2 form)\n"
+      "  --continuous-qos      real-valued link weights (default: integers)\n"
+      "  --routing=union|chain advertised-union vs. strict ANS-chain routing\n"
+      "  --hop-by-hop          hop-by-hop forwarding (default: source routing)\n"
+      "  --pairs=two_hop|any   destination draw: N2(u) vs. whole component\n"
+      "  --max-resamples=N     degenerate-deployment resample cap\n"
+      "  --format=F            table|csv|json (default table)\n"
+      "  --output=PATH         write results to PATH instead of stdout\n"
+      "  --per-run             also record and emit per-run records\n";
+}
+
+}  // namespace qolsr

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "eval/runner.hpp"
+#include "eval/scenario.hpp"
+#include "metrics/metric_id.hpp"
+#include "olsr/selector_registry.hpp"
+
+namespace qolsr {
+
+/// Any failure of the experiment engine — unknown metric or selector name,
+/// malformed CLI flag, degenerate deployment — surfaces as this one type
+/// with a human-readable message.
+class ExperimentError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A declarative description of one evaluation sweep: everything the four
+/// hard-coded figureN_* harnesses froze at compile time, as data. A spec
+/// can be built in code, parsed from CLI flags (parse_experiment_spec), or
+/// produced canned by figure_spec(); run_experiment executes it through the
+/// same templated, allocation-free run_sweep<M> hot path.
+struct ExperimentSpec {
+  std::string name = "sweep";
+  MetricId metric = MetricId::kBandwidth;
+  /// SelectorRegistry names, in column order. Defaults to the paper's
+  /// three contenders (Figs. 6–9 legend order).
+  std::vector<std::string> selectors = {"qolsr_mpr2", "topology_filtering",
+                                        "fnbp"};
+  /// Deployment, densities, runs, seed, routing model, pair mode, … (the
+  /// scenario's densities default to empty — set them or use figure_spec).
+  Scenario scenario;
+  /// Worker threads for run_sweep; 0 = hardware_concurrency. Benches and
+  /// CI set 1 for deterministic timing.
+  unsigned threads = 0;
+  // ----- output options (consumed by the sinks / CLI, not by the run) ----
+  std::string format = "table";  ///< "table", "csv" or "json"
+  std::string output_path;       ///< empty = stdout
+  bool per_run = false;          ///< also record + emit per-run records
+};
+
+/// A finished experiment: the spec that produced it plus the per-density
+/// aggregates (and per-run records when spec.per_run).
+struct ExperimentResult {
+  ExperimentSpec spec;
+  std::vector<DensityStats> sweep;
+};
+
+/// Type-erased execution: resolves the metric via dispatch_metric,
+/// instantiates the named selectors from `registry`, and runs the
+/// templated sweep. Throws ExperimentError on unknown names, an empty
+/// density list, or a degenerate deployment (sample_run resample cap).
+ExperimentResult run_experiment(
+    const ExperimentSpec& spec,
+    const SelectorRegistry& registry = SelectorRegistry::builtin());
+
+/// Parses `--flag=value` strings (CLI argv after the program name) into a
+/// spec, starting from `base` so canned specs (figure_spec) can be
+/// customized; later flags override earlier ones. Throws ExperimentError
+/// on unknown flags or unparsable values. Flags:
+///
+///   --name=S              experiment name (labels the output)
+///   --metric=NAME         bandwidth|delay|jitter|loss|energy|buffers
+///   --selectors=A,B,...   SelectorRegistry names, column order
+///   --densities=D1,D2,... mean-degree sweep points
+///   --runs=N --seed=S --threads=T (T=0: hardware concurrency)
+///   --field=WxH --radius=R deployment geometry
+///   --qos-hi=V            upper bound of the magnitude-style QoS intervals
+///                         (bandwidth/delay/energy/buffers; the jitter and
+///                         loss probability intervals are unaffected)
+///   --continuous-qos      real-valued link weights (default: integers)
+///   --routing=union|chain --hop-by-hop --pairs=two_hop|any
+///   --max-resamples=N     sample_run degenerate-deployment cap
+///   --format=F --output=PATH --per-run
+ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
+                                     ExperimentSpec base = {});
+
+/// One-line-per-flag usage text for the CLI's --help.
+std::string experiment_flags_help();
+
+}  // namespace qolsr

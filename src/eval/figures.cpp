@@ -1,43 +1,49 @@
 #include "eval/figures.hpp"
 
-#include "core/fnbp.hpp"
+#include "eval/scenario.hpp"
 
 namespace qolsr {
 
-namespace {
-
-/// The paper's three contenders, in its legend order: original QOLSR with
-/// the MPR-2 heuristic, topology-filtering ANS, FNBP ANS.
-template <Metric M>
-struct Contenders {
-  QolsrSelector<M> qolsr{QolsrVariant::kMpr2};
-  TopologyFilteringSelector<M> topology_filtering;
-  FnbpSelector<M> fnbp;
-
-  std::vector<const AnsSelector*> list() const {
-    return {&qolsr, &topology_filtering, &fnbp};
+ExperimentSpec figure_spec(int figure, const FigureConfig& config) {
+  ExperimentSpec spec;
+  switch (figure) {
+    case 6:
+      spec.name = "fig6_ans_size_bandwidth";
+      spec.metric = MetricId::kBandwidth;
+      spec.scenario.densities = bandwidth_densities();
+      break;
+    case 7:
+      spec.name = "fig7_ans_size_delay";
+      spec.metric = MetricId::kDelay;
+      spec.scenario.densities = delay_densities();
+      break;
+    case 8:
+      spec.name = "fig8_bandwidth_overhead";
+      spec.metric = MetricId::kBandwidth;
+      spec.scenario.densities = bandwidth_densities();
+      break;
+    case 9:
+      spec.name = "fig9_delay_overhead";
+      spec.metric = MetricId::kDelay;
+      spec.scenario.densities = delay_densities();
+      break;
+    default:
+      throw ExperimentError("figure_spec: the paper has figures 6-9, not " +
+                            std::to_string(figure));
   }
-};
-
-template <Metric M>
-std::vector<DensityStats> sweep_for(const FigureConfig& config,
-                                    std::vector<double> densities) {
-  Scenario scenario;
-  scenario.densities = std::move(densities);
-  scenario.runs = config.runs;
-  scenario.seed = config.seed;
-  const Contenders<M> contenders;
-  return run_sweep<M>(scenario, contenders.list());
+  // spec.selectors already defaults to the paper's legend order.
+  spec.scenario.runs = config.runs;
+  spec.scenario.seed = config.seed;
+  spec.threads = config.threads;
+  return spec;
 }
 
-}  // namespace
-
 std::vector<DensityStats> bandwidth_sweep(const FigureConfig& config) {
-  return sweep_for<BandwidthMetric>(config, bandwidth_densities());
+  return run_experiment(figure_spec(6, config)).sweep;
 }
 
 std::vector<DensityStats> delay_sweep(const FigureConfig& config) {
-  return sweep_for<DelayMetric>(config, delay_densities());
+  return run_experiment(figure_spec(7, config)).sweep;
 }
 
 util::Table set_size_table(const std::vector<DensityStats>& sweep) {

@@ -3,17 +3,28 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "eval/runner.hpp"
+#include "eval/experiment.hpp"
 #include "util/table.hpp"
 
 namespace qolsr {
 
 /// Shared knobs of the figure-reproduction harness. Defaults are the
-/// paper's (100 runs); benches expose --runs/--seed flags for quick passes.
+/// paper's (100 runs); benches expose --runs/--seed/--threads flags for
+/// quick deterministic passes. threads == 0 means hardware concurrency.
 struct FigureConfig {
   std::size_t runs = 100;
   std::uint64_t seed = 42;
+  unsigned threads = 0;
 };
+
+/// The canned ExperimentSpec behind one of the paper's Figs. 6–9: the
+/// figure's metric and densities, the paper's three contenders
+/// (qolsr_mpr2, topology_filtering, fnbp) in legend order, and the
+/// config's runs/seed/threads. Throws ExperimentError for figures outside
+/// 6–9. The figureN_* helpers below are exactly
+/// `run_experiment(figure_spec(N, config))` plus table formatting —
+/// anything they can compute, `qolsr_eval --figure=N` reproduces.
+ExperimentSpec figure_spec(int figure, const FigureConfig& config = {});
 
 /// Fig. 6 — size of the advertised set vs. density, bandwidth metric.
 util::Table figure6_ans_size_bandwidth(const FigureConfig& config = {});

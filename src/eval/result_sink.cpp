@@ -1,0 +1,182 @@
+#include "eval/result_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "eval/figures.hpp"
+
+namespace qolsr {
+
+namespace {
+
+/// Shortest-ish decimal that round-trips our aggregate magnitudes; stable
+/// across platforms for the golden-output tests ("2" not "2.000000").
+std::string fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  return buffer;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(c));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON has no literal for non-finite numbers; an infinite overhead (zero
+/// additive optimum beaten by a nonzero route) becomes null.
+std::string json_num(double v) {
+  return std::isfinite(v) ? fmt(v) : "null";
+}
+
+std::string json_stats(const util::RunningStats& s) {
+  return "{\"mean\": " + json_num(s.mean()) +
+         ", \"stddev\": " + json_num(s.stddev()) +
+         ", \"min\": " + json_num(s.min()) + ", \"max\": " + json_num(s.max()) +
+         "}";
+}
+
+}  // namespace
+
+void PrettyTableSink::write(const ExperimentResult& result,
+                            std::ostream& os) const {
+  const ExperimentSpec& spec = result.spec;
+  os << "# " << spec.name << " — metric=" << metric_name(spec.metric)
+     << " runs/density=" << spec.scenario.runs << " seed=" << spec.scenario.seed
+     << "\n";
+  os << "\n## advertised set size (mean |ANS| per node)\n"
+     << set_size_table(result.sweep).to_string();
+  os << "\n## QoS overhead vs. centralized optimum\n"
+     << overhead_table(result.sweep).to_string();
+  os << "\n## diagnostics\n" << diagnostics_table(result.sweep).to_string();
+  std::size_t records = 0;
+  for (const DensityStats& d : result.sweep) records += d.run_records.size();
+  if (records > 0)
+    os << "\n(" << records
+       << " per-run records recorded; use --format=csv or json to export "
+          "them)\n";
+}
+
+void CsvSink::write(const ExperimentResult& result, std::ostream& os) const {
+  os << "metric,density,runs,avg_nodes,protocol,set_size_mean,"
+        "set_size_stddev,delivered,failed,overhead_mean,overhead_stddev,"
+        "path_hops_mean\n";
+  const std::string metric{metric_name(result.spec.metric)};
+  for (const DensityStats& d : result.sweep) {
+    for (const ProtocolStats& p : d.protocols) {
+      os << metric << ',' << fmt(d.density) << ',' << d.runs << ','
+         << fmt(d.node_count.mean()) << ',' << p.name << ','
+         << fmt(p.set_size.mean()) << ',' << fmt(p.set_size.stddev()) << ','
+         << p.delivered << ',' << p.failed << ',' << fmt(p.overhead.mean())
+         << ',' << fmt(p.overhead.stddev()) << ',' << fmt(p.path_hops.mean())
+         << '\n';
+    }
+  }
+
+  bool has_records = false;
+  for (const DensityStats& d : result.sweep)
+    has_records = has_records || !d.run_records.empty();
+  if (!has_records) return;
+
+  os << "\ndensity,run,nodes,protocol,set_size,delivered,value,overhead,"
+        "path_hops\n";
+  for (const DensityStats& d : result.sweep) {
+    for (const RunRecord& r : d.run_records) {
+      for (std::size_t si = 0; si < r.protocols.size(); ++si) {
+        const RunRecord::Protocol& rp = r.protocols[si];
+        os << fmt(d.density) << ',' << r.run_index << ',' << r.nodes << ','
+           << d.protocols[si].name << ',' << fmt(rp.set_size) << ','
+           << (rp.delivered ? 1 : 0) << ',';
+        if (rp.delivered) {
+          os << fmt(rp.value) << ',' << fmt(rp.overhead) << ',' << rp.hops;
+        } else {
+          os << ",,";
+        }
+        os << '\n';
+      }
+    }
+  }
+}
+
+void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
+  const ExperimentSpec& spec = result.spec;
+  os << "{\n";
+  os << "  \"name\": \"" << json_escape(spec.name) << "\",\n";
+  os << "  \"metric\": \"" << metric_name(spec.metric) << "\",\n";
+  os << "  \"metric_kind\": \""
+     << (metric_kind(spec.metric) == MetricKind::kConcave ? "concave"
+                                                          : "additive")
+     << "\",\n";
+  os << "  \"selectors\": [";
+  for (std::size_t i = 0; i < spec.selectors.size(); ++i)
+    os << (i ? ", " : "") << '"' << json_escape(spec.selectors[i]) << '"';
+  os << "],\n";
+  os << "  \"runs\": " << spec.scenario.runs << ",\n";
+  os << "  \"seed\": " << spec.scenario.seed << ",\n";
+  os << "  \"threads\": " << spec.threads << ",\n";
+  os << "  \"densities\": [";
+  for (std::size_t di = 0; di < result.sweep.size(); ++di) {
+    const DensityStats& d = result.sweep[di];
+    os << (di ? "," : "") << "\n    {\n";
+    os << "      \"density\": " << fmt(d.density) << ",\n";
+    os << "      \"runs\": " << d.runs << ",\n";
+    os << "      \"avg_nodes\": " << fmt(d.node_count.mean()) << ",\n";
+    os << "      \"protocols\": [";
+    for (std::size_t pi = 0; pi < d.protocols.size(); ++pi) {
+      const ProtocolStats& p = d.protocols[pi];
+      os << (pi ? "," : "") << "\n        {\"name\": \"" << json_escape(p.name)
+         << "\", \"delivered\": " << p.delivered
+         << ", \"failed\": " << p.failed
+         << ",\n         \"set_size\": " << json_stats(p.set_size)
+         << ",\n         \"overhead\": " << json_stats(p.overhead)
+         << ",\n         \"path_hops\": " << json_stats(p.path_hops) << "}";
+    }
+    os << "\n      ]";
+    if (!d.run_records.empty()) {
+      os << ",\n      \"run_records\": [";
+      for (std::size_t ri = 0; ri < d.run_records.size(); ++ri) {
+        const RunRecord& r = d.run_records[ri];
+        os << (ri ? "," : "") << "\n        {\"run\": " << r.run_index
+           << ", \"nodes\": " << r.nodes << ", \"protocols\": [";
+        for (std::size_t si = 0; si < r.protocols.size(); ++si) {
+          const RunRecord::Protocol& rp = r.protocols[si];
+          os << (si ? ", " : "") << "{\"set_size\": " << fmt(rp.set_size)
+             << ", \"delivered\": " << (rp.delivered ? "true" : "false");
+          if (rp.delivered)
+            os << ", \"value\": " << json_num(rp.value)
+               << ", \"overhead\": " << json_num(rp.overhead)
+               << ", \"hops\": " << rp.hops;
+          os << "}";
+        }
+        os << "]}";
+      }
+      os << "\n      ]";
+    }
+    os << "\n    }";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::unique_ptr<ResultSink> make_result_sink(std::string_view format) {
+  if (format == "table") return std::make_unique<PrettyTableSink>();
+  if (format == "csv") return std::make_unique<CsvSink>();
+  if (format == "json") return std::make_unique<JsonSink>();
+  throw ExperimentError("unknown output format '" + std::string(format) +
+                        "' (known: table csv json)");
+}
+
+}  // namespace qolsr

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+
+#include "eval/experiment.hpp"
+
+namespace qolsr {
+
+/// Output side of the experiment engine: formats a finished
+/// ExperimentResult onto a stream. Every implementation emits the
+/// per-density aggregates; the machine-readable ones (CSV, JSON) also emit
+/// the per-run records when the result carries them (spec.per_run), while
+/// the pretty table reports their count and defers the export to those.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual std::string_view format_name() const = 0;
+  virtual void write(const ExperimentResult& result,
+                     std::ostream& os) const = 0;
+};
+
+/// Human-readable tables: set sizes, overheads, diagnostics — the view the
+/// old figure harnesses printed.
+class PrettyTableSink final : public ResultSink {
+ public:
+  std::string_view format_name() const override { return "table"; }
+  void write(const ExperimentResult& result, std::ostream& os) const override;
+};
+
+/// Machine-readable long-format CSV: one row per (density, protocol)
+/// aggregate; per-run records follow as a second header+rows block after a
+/// blank line when recorded.
+class CsvSink final : public ResultSink {
+ public:
+  std::string_view format_name() const override { return "csv"; }
+  void write(const ExperimentResult& result, std::ostream& os) const override;
+};
+
+/// One JSON document: the spec echo, per-density aggregates with full
+/// RunningStats (mean/stddev/min/max), and per-run records when recorded.
+class JsonSink final : public ResultSink {
+ public:
+  std::string_view format_name() const override { return "json"; }
+  void write(const ExperimentResult& result, std::ostream& os) const override;
+};
+
+/// Factory over the spec's `format` field ("table", "csv", "json").
+/// Throws ExperimentError on an unknown format name.
+std::unique_ptr<ResultSink> make_result_sink(std::string_view format);
+
+}  // namespace qolsr

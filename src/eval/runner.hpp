@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <exception>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,11 +33,28 @@ struct ProtocolStats {
   std::size_t failed = 0;        ///< no-route / loop / hop-limit outcomes
 };
 
+/// One run's raw measurements, kept only when Scenario::record_runs is on
+/// (result sinks can then emit per-run records next to the aggregates).
+struct RunRecord {
+  std::size_t run_index = 0;  ///< index into the density's run sequence
+  std::size_t nodes = 0;
+  struct Protocol {
+    double set_size = 0.0;   ///< mean |ANS| per node on this topology
+    bool delivered = false;
+    double value = 0.0;      ///< routed QoS value (when delivered)
+    double overhead = 0.0;   ///< vs. the centralized optimum (when delivered)
+    std::size_t hops = 0;    ///< routed path length (when delivered)
+  };
+  std::vector<Protocol> protocols;  ///< same order as DensityStats::protocols
+};
+
 struct DensityStats {
   double density = 0.0;
   std::size_t runs = 0;
   util::RunningStats node_count;
   std::vector<ProtocolStats> protocols;
+  /// Ascending by run_index; empty unless Scenario::record_runs.
+  std::vector<RunRecord> run_records;
 };
 
 /// Per-run artifacts shared by all protocols on one sampled topology.
@@ -65,9 +86,17 @@ template <Metric M>
 SampledRun sample_run(const Scenario& scenario, double density,
                       util::Rng& rng, EvalWorkspace& ws) {
   SampledRun run;
-  for (;;) {
-    DeploymentConfig field = scenario.field;
-    field.degree = density;
+  DeploymentConfig field = scenario.field;
+  field.degree = density;
+  for (std::size_t resample = 0;; ++resample) {
+    if (resample >= scenario.max_topology_resamples)
+      throw std::runtime_error(
+          "sample_run: no usable (source, destination) pair after " +
+          std::to_string(scenario.max_topology_resamples) +
+          " topology resamples at density " + std::to_string(density) +
+          " (expected nodes per deployment: " +
+          std::to_string(field.expected_nodes()) +
+          ") - the deployment configuration is degenerate");
     run.graph = sample_poisson_deployment(field, rng);
     if (run.graph.node_count() < 2) continue;
     assign_uniform_qos(run.graph, scenario.qos, rng);
@@ -109,6 +138,13 @@ SampledRun sample_run(const Scenario& scenario, double density,
 /// metrics pay (d−d*)/d*.
 template <Metric M>
 double qos_overhead(double achieved, double optimal) {
+  // A zero optimum makes the ratio 0/0 — all-zero additive link costs
+  // (e.g. the loss interval under integral weights) or a zero-bandwidth
+  // bottleneck when a QoS interval starts at 0. A route matching the
+  // optimum is exactly optimal; anything else is unboundedly worse.
+  if (optimal == 0.0)
+    return achieved == optimal ? 0.0
+                               : std::numeric_limits<double>::infinity();
   if constexpr (M::kind == MetricKind::kConcave) {
     return (optimal - achieved) / optimal;
   } else {
@@ -122,12 +158,18 @@ namespace eval_detail {
 /// `ws` is the calling worker thread's scratch bundle.
 template <Metric M>
 void execute_run(const Scenario& scenario, double density,
-                 std::uint64_t run_seed,
+                 std::size_t run_index, std::uint64_t run_seed,
                  const std::vector<const AnsSelector*>& selectors,
                  DensityStats& stats, EvalWorkspace& ws) {
   util::Rng rng(run_seed);
   const SampledRun run = sample_run<M>(scenario, density, rng, ws);
   stats.node_count.add(static_cast<double>(run.graph.node_count()));
+  RunRecord record;
+  if (scenario.record_runs) {
+    record.run_index = run_index;
+    record.nodes = run.graph.node_count();
+    record.protocols.resize(selectors.size());
+  }
 
   // Every node's view is built once (into the reused workspace view) and
   // shared by all selectors; the ANS buffers are recycled run to run.
@@ -142,7 +184,8 @@ void execute_run(const Scenario& scenario, double density,
 
   for (std::size_t si = 0; si < selectors.size(); ++si) {
     ProtocolStats& ps = stats.protocols[si];
-    ps.set_size.add(average_set_size(ans[si]));
+    const double set_size = average_set_size(ans[si]);
+    ps.set_size.add(set_size);
 
     ForwardingOptions options;
     options.use_local_views = scenario.use_local_views;
@@ -160,18 +203,37 @@ void execute_run(const Scenario& scenario, double density,
                                             run.source, run.destination,
                                             options);
     }
+    const double overhead =
+        routed.delivered() ? qos_overhead<M>(routed.value, run.optimal_value)
+                           : 0.0;
     if (routed.delivered()) {
       ++ps.delivered;
-      ps.overhead.add(qos_overhead<M>(routed.value, run.optimal_value));
+      ps.overhead.add(overhead);
       ps.path_hops.add(static_cast<double>(routed.path.size() - 1));
     } else {
       ++ps.failed;
     }
+    if (scenario.record_runs) {
+      RunRecord::Protocol& rp = record.protocols[si];
+      rp.set_size = set_size;
+      rp.delivered = routed.delivered();
+      if (routed.delivered()) {
+        rp.value = routed.value;
+        rp.overhead = overhead;
+        rp.hops = routed.path.size() - 1;
+      }
+    }
   }
+  if (scenario.record_runs) stats.run_records.push_back(std::move(record));
 }
 
-inline void merge_into(DensityStats& into, const DensityStats& from) {
+/// Folds a worker's partial stats into `into`. `from` is consumed: its
+/// run records (each holding a per-protocol vector) are moved, not copied.
+inline void merge_into(DensityStats& into, DensityStats& from) {
   into.node_count.merge(from.node_count);
+  into.run_records.insert(into.run_records.end(),
+                          std::make_move_iterator(from.run_records.begin()),
+                          std::make_move_iterator(from.run_records.end()));
   for (std::size_t si = 0; si < into.protocols.size(); ++si) {
     ProtocolStats& a = into.protocols[si];
     const ProtocolStats& b = from.protocols[si];
@@ -203,11 +265,13 @@ inline DensityStats empty_stats(
 ///
 /// Runs are independent (each derives its own RNG stream from the scenario
 /// seed), so they are distributed over `threads` workers; results are
-/// merged and identical for every thread count, including 1.
+/// merged and identical for every thread count, including 1. `threads == 0`
+/// (the default) means hardware_concurrency.
 template <Metric M>
 std::vector<DensityStats> run_sweep(
     const Scenario& scenario, const std::vector<const AnsSelector*>& selectors,
-    unsigned threads = std::thread::hardware_concurrency()) {
+    unsigned threads = 0) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(scenario.runs, 1)));
@@ -226,25 +290,41 @@ std::vector<DensityStats> run_sweep(
     if (threads == 1) {
       EvalWorkspace ws;
       for (std::size_t r = 0; r < scenario.runs; ++r)
-        eval_detail::execute_run<M>(scenario, density, seed_of(r), selectors,
-                                    partials[0], ws);
+        eval_detail::execute_run<M>(scenario, density, r, seed_of(r),
+                                    selectors, partials[0], ws);
     } else {
+      // A worker that throws (e.g. the sample_run resample cap) parks the
+      // exception and stops; the first one is rethrown on the calling
+      // thread after the join.
+      std::vector<std::exception_ptr> errors(threads);
       std::vector<std::thread> workers;
       workers.reserve(threads);
       for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&, t] {
-          EvalWorkspace ws;
-          for (std::size_t r = t; r < scenario.runs; r += threads)
-            eval_detail::execute_run<M>(scenario, density, seed_of(r),
-                                        selectors, partials[t], ws);
+          try {
+            EvalWorkspace ws;
+            for (std::size_t r = t; r < scenario.runs; r += threads)
+              eval_detail::execute_run<M>(scenario, density, r, seed_of(r),
+                                          selectors, partials[t], ws);
+          } catch (...) {
+            errors[t] = std::current_exception();
+          }
         });
       }
       for (std::thread& w : workers) w.join();
+      for (const std::exception_ptr& error : errors)
+        if (error) std::rethrow_exception(error);
     }
 
     DensityStats stats = std::move(partials[0]);
     for (unsigned t = 1; t < threads; ++t)
       eval_detail::merge_into(stats, partials[t]);
+    // Workers interleave run indices; restore run order so recorded output
+    // is identical for every thread count.
+    std::sort(stats.run_records.begin(), stats.run_records.end(),
+              [](const RunRecord& a, const RunRecord& b) {
+                return a.run_index < b.run_index;
+              });
     sweep.push_back(std::move(stats));
   }
   return sweep;

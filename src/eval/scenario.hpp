@@ -56,6 +56,17 @@ struct Scenario {
   /// Re-draws of the (source, destination) pair before resampling a
   /// topology when the draw keeps failing (disconnected pair / empty N²).
   std::size_t max_pair_draws = 64;
+  /// Hard cap on whole-topology resamples in one sample_run call. A
+  /// degenerate deployment (expected node count near zero, or a field too
+  /// sparse to ever connect a pair) would otherwise spin forever; hitting
+  /// the cap raises a descriptive error instead. Generous enough that any
+  /// scenario with a realistic success rate never sees it.
+  std::size_t max_topology_resamples = 10000;
+  /// Keep one RunRecord per run in DensityStats::run_records (per-run set
+  /// sizes, routed values, overheads) in addition to the aggregates. Off by
+  /// default: the hot path stays allocation-free and the aggregates are all
+  /// the figures need.
+  bool record_runs = false;
 };
 
 /// Densities used by the bandwidth figures (6 and 8).

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+
+#include "metrics/metric.hpp"
+
+namespace qolsr {
+
+/// Runtime handle for the six compile-time Metric policies. The evaluation
+/// engine stores a MetricId in its declarative specs and crosses into the
+/// templated hot path (run_sweep<M>, dijkstra<M>, …) exactly once, at
+/// dispatch_metric below — everything inside stays monomorphized, exactly
+/// as fast as the direct template call.
+enum class MetricId : std::uint8_t {
+  kBandwidth,  ///< concave — path value is the minimum link bandwidth
+  kDelay,      ///< additive — sum of link delays
+  kJitter,     ///< additive
+  kLoss,       ///< additive in the -log(1-p) form
+  kEnergy,     ///< additive
+  kBuffers,    ///< concave
+};
+
+inline constexpr std::array<MetricId, 6> kAllMetricIds = {
+    MetricId::kBandwidth, MetricId::kDelay,  MetricId::kJitter,
+    MetricId::kLoss,      MetricId::kEnergy, MetricId::kBuffers,
+};
+
+/// Value-level tag carrying a Metric type through a generic lambda:
+/// `dispatch_metric(id, [](auto tag) { using M = typename decltype(tag)::type; … })`.
+template <Metric M>
+struct MetricTag {
+  using type = M;
+};
+
+/// The single runtime → compile-time crossing point: invokes `fn` with the
+/// MetricTag of the metric named by `id`. All branches must yield the same
+/// type (use a generic lambda).
+template <typename Fn>
+decltype(auto) dispatch_metric(MetricId id, Fn&& fn) {
+  switch (id) {
+    case MetricId::kBandwidth:
+      return fn(MetricTag<BandwidthMetric>{});
+    case MetricId::kDelay:
+      return fn(MetricTag<DelayMetric>{});
+    case MetricId::kJitter:
+      return fn(MetricTag<JitterMetric>{});
+    case MetricId::kLoss:
+      return fn(MetricTag<LossMetric>{});
+    case MetricId::kEnergy:
+      return fn(MetricTag<EnergyMetric>{});
+    case MetricId::kBuffers:
+      return fn(MetricTag<BuffersMetric>{});
+  }
+  throw std::invalid_argument("dispatch_metric: invalid MetricId");
+}
+
+/// The metric's canonical name ("bandwidth", "delay", …) — the same string
+/// M::name() reports, and what parse_metric_id accepts.
+inline std::string_view metric_name(MetricId id) {
+  return dispatch_metric(id, [](auto tag) {
+    return decltype(tag)::type::name();
+  });
+}
+
+inline MetricKind metric_kind(MetricId id) {
+  return dispatch_metric(id, [](auto tag) {
+    return decltype(tag)::type::kind;
+  });
+}
+
+/// Name → id, matching the M::name() spellings; nullopt for unknown names.
+inline std::optional<MetricId> parse_metric_id(std::string_view name) {
+  for (MetricId id : kAllMetricIds)
+    if (metric_name(id) == name) return id;
+  return std::nullopt;
+}
+
+}  // namespace qolsr

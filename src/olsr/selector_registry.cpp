@@ -1,0 +1,75 @@
+#include "olsr/selector_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/fnbp.hpp"
+
+namespace qolsr {
+
+void SelectorRegistry::add(std::string name, Factory factory) {
+  if (contains(name))
+    throw std::invalid_argument("SelectorRegistry: duplicate selector name '" +
+                                name + "'");
+  entries_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool SelectorRegistry::contains(std::string_view name) const {
+  for (const auto& [key, factory] : entries_)
+    if (key == name) return true;
+  return false;
+}
+
+std::unique_ptr<AnsSelector> SelectorRegistry::create(std::string_view name,
+                                                      MetricId metric) const {
+  for (const auto& [key, factory] : entries_)
+    if (key == name) return factory(metric);
+  std::string message = "unknown selector '" + std::string(name) + "' (known:";
+  for (const auto& [key, factory] : entries_) message += " " + key;
+  message += ")";
+  throw std::invalid_argument(message);
+}
+
+std::vector<std::string> SelectorRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& [key, factory] : entries_) result.push_back(key);
+  return result;
+}
+
+const SelectorRegistry& SelectorRegistry::builtin() {
+  static const SelectorRegistry registry = [] {
+    SelectorRegistry r;
+    r.add("olsr_mpr", [](MetricId) -> std::unique_ptr<AnsSelector> {
+      // RFC 3626 MPR coverage is metric-blind; one type serves all metrics.
+      return std::make_unique<Rfc3626Selector>();
+    });
+    r.add("qolsr_mpr1", [](MetricId metric) {
+      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+        using M = typename decltype(tag)::type;
+        return std::make_unique<QolsrSelector<M>>(QolsrVariant::kMpr1);
+      });
+    });
+    r.add("qolsr_mpr2", [](MetricId metric) {
+      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+        using M = typename decltype(tag)::type;
+        return std::make_unique<QolsrSelector<M>>(QolsrVariant::kMpr2);
+      });
+    });
+    r.add("topology_filtering", [](MetricId metric) {
+      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+        using M = typename decltype(tag)::type;
+        return std::make_unique<TopologyFilteringSelector<M>>();
+      });
+    });
+    r.add("fnbp", [](MetricId metric) {
+      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+        using M = typename decltype(tag)::type;
+        return std::make_unique<FnbpSelector<M>>();
+      });
+    });
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/metric_id.hpp"
+#include "olsr/selector.hpp"
+
+namespace qolsr {
+
+/// Name → factory map over the neighbor-selection heuristics, so contender
+/// lists are data instead of code: an experiment names its protocols
+/// ("olsr_mpr", "qolsr_mpr2", "fnbp", …) and the registry instantiates the
+/// right AnsSelector template for the experiment's metric. Registration
+/// order is preserved — it is the column order of every emitted result.
+class SelectorRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<AnsSelector>(MetricId metric)>;
+
+  /// Registers a factory under `name`. Throws std::invalid_argument on a
+  /// duplicate name (silent replacement would reorder result columns).
+  void add(std::string name, Factory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Instantiates the named heuristic for `metric`. Throws
+  /// std::invalid_argument listing the known names when `name` is unknown.
+  std::unique_ptr<AnsSelector> create(std::string_view name,
+                                      MetricId metric) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// The five heuristics the paper compares, in its legend order:
+  /// olsr_mpr, qolsr_mpr1, qolsr_mpr2, topology_filtering, fnbp.
+  static const SelectorRegistry& builtin();
+
+ private:
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+}  // namespace qolsr

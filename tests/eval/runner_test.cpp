@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/fnbp.hpp"
 #include "eval/figures.hpp"
 
@@ -37,6 +39,14 @@ TEST(QosOverhead, DefinitionsMatchPaper) {
   EXPECT_DOUBLE_EQ(qos_overhead<BandwidthMetric>(10.0, 10.0), 0.0);
   EXPECT_DOUBLE_EQ(qos_overhead<DelayMetric>(12.0, 10.0), 0.2);
   EXPECT_DOUBLE_EQ(qos_overhead<DelayMetric>(10.0, 10.0), 0.0);
+}
+
+TEST(QosOverhead, ZeroOptimumIsNeverNan) {
+  // 0/0 guards for both families: a route matching a zero optimum is
+  // exactly optimal, anything else is unboundedly worse (never NaN).
+  EXPECT_DOUBLE_EQ(qos_overhead<BandwidthMetric>(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(qos_overhead<LossMetric>(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(qos_overhead<LossMetric>(1.0, 0.0)));
 }
 
 TEST(RunSweep, CollectsStatsForEveryProtocolAndDensity) {

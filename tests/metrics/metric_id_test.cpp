@@ -1,0 +1,64 @@
+// The runtime metric handle: name round-trips, kind mapping, and the
+// dispatch hub landing on the right compile-time Metric type.
+#include "metrics/metric_id.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qolsr {
+namespace {
+
+TEST(MetricId, NamesRoundTripThroughParse) {
+  for (MetricId id : kAllMetricIds) {
+    const auto parsed = parse_metric_id(metric_name(id));
+    ASSERT_TRUE(parsed.has_value()) << metric_name(id);
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_EQ(parse_metric_id("latency"), std::nullopt);
+  EXPECT_EQ(parse_metric_id(""), std::nullopt);
+  EXPECT_EQ(parse_metric_id("Bandwidth"), std::nullopt);  // case-sensitive
+}
+
+TEST(MetricId, KindsMatchTheMetricAlgebra) {
+  EXPECT_EQ(metric_kind(MetricId::kBandwidth), MetricKind::kConcave);
+  EXPECT_EQ(metric_kind(MetricId::kBuffers), MetricKind::kConcave);
+  EXPECT_EQ(metric_kind(MetricId::kDelay), MetricKind::kAdditive);
+  EXPECT_EQ(metric_kind(MetricId::kJitter), MetricKind::kAdditive);
+  EXPECT_EQ(metric_kind(MetricId::kLoss), MetricKind::kAdditive);
+  EXPECT_EQ(metric_kind(MetricId::kEnergy), MetricKind::kAdditive);
+}
+
+TEST(MetricId, DispatchReachesTheMatchingType) {
+  // The tag's type must be exactly the metric named by the id — check by
+  // extracting the compile-time name and a link value through the tag.
+  for (MetricId id : kAllMetricIds) {
+    const std::string_view name = dispatch_metric(id, [](auto tag) {
+      return decltype(tag)::type::name();
+    });
+    EXPECT_EQ(name, metric_name(id));
+  }
+  LinkQos qos;
+  qos.bandwidth = 3.0;
+  qos.delay = 4.0;
+  const double bw = dispatch_metric(MetricId::kBandwidth, [&](auto tag) {
+    return decltype(tag)::type::link_value(qos);
+  });
+  const double delay = dispatch_metric(MetricId::kDelay, [&](auto tag) {
+    return decltype(tag)::type::link_value(qos);
+  });
+  EXPECT_EQ(bw, 3.0);
+  EXPECT_EQ(delay, 4.0);
+}
+
+TEST(MetricId, DispatchCoversEveryIdExactlyOnce) {
+  // kAllMetricIds is the dispatch table's domain: distinct ids, and each
+  // one dispatches without throwing.
+  for (std::size_t i = 0; i < kAllMetricIds.size(); ++i)
+    for (std::size_t j = i + 1; j < kAllMetricIds.size(); ++j)
+      EXPECT_NE(kAllMetricIds[i], kAllMetricIds[j]);
+  EXPECT_THROW(dispatch_metric(static_cast<MetricId>(250),
+                               [](auto) { return 0; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qolsr

@@ -1,0 +1,112 @@
+// qolsr_eval — runtime-configurable evaluation sweeps over the paper's
+// protocol zoo, no recompilation required. Canned paper figures:
+//
+//   $ qolsr_eval --figure=6                      # Fig. 6, paper settings
+//   $ qolsr_eval --figure=8 --runs=20 --seed=7   # quick pass
+//
+// or any metric × selector × scenario combination:
+//
+//   $ qolsr_eval --metric=loss \
+//       --selectors=olsr_mpr,qolsr_mpr1,qolsr_mpr2,topology_filtering,fnbp \
+//       --densities=10,20,30 --runs=50 --threads=1 --format=json
+//
+// See --help for the full flag list, --list-metrics / --list-selectors for
+// the registered names.
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/figures.hpp"
+#include "eval/result_sink.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int exit_code) {
+  os << "usage: qolsr_eval [--figure=6|7|8|9] [flags]\n"
+     << "\n"
+     << "Runs one declarative experiment (a density sweep of ANS selection\n"
+     << "heuristics under a QoS metric) and emits per-density aggregates.\n"
+     << "--figure=N starts from the canned spec of the paper's Fig. N;\n"
+     << "every later flag overrides it.\n"
+     << "\n"
+     << qolsr::experiment_flags_help()
+     << "  --list-metrics        print metric names and exit\n"
+     << "  --list-selectors      print registered selector names and exit\n"
+     << "  --help                this text\n";
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qolsr;
+
+  ExperimentSpec base;
+  std::vector<std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-metrics") {
+      for (MetricId id : kAllMetricIds)
+        std::cout << metric_name(id) << "\n";
+      return 0;
+    }
+    if (arg == "--list-selectors") {
+      for (const std::string& name : SelectorRegistry::builtin().names())
+        std::cout << name << "\n";
+      return 0;
+    }
+    if (arg.rfind("--figure=", 0) == 0) {
+      const std::string value = arg.substr(9);
+      int figure = 0;
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), figure);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        std::cerr << "qolsr_eval: flag --figure: '" << value
+                  << "' is not a number\n";
+        return 2;
+      }
+      try {
+        base = figure_spec(figure, FigureConfig{});
+      } catch (const std::exception& e) {
+        std::cerr << "qolsr_eval: " << e.what() << "\n";
+        return 2;
+      }
+      continue;  // order-independent: the canned spec is always the base
+    }
+    flags.push_back(arg);
+  }
+
+  // Flag mistakes get the usage text; a valid spec that fails at runtime
+  // (degenerate deployment, unwritable output) gets only its diagnostic.
+  ExperimentSpec spec;
+  std::unique_ptr<ResultSink> sink;
+  try {
+    spec = parse_experiment_spec(flags, std::move(base));
+    sink = make_result_sink(spec.format);
+  } catch (const ExperimentError& e) {
+    std::cerr << "qolsr_eval: " << e.what() << "\n";
+    return usage(std::cerr, 2);
+  }
+
+  try {
+    const ExperimentResult result = run_experiment(spec);
+    if (spec.output_path.empty()) {
+      sink->write(result, std::cout);
+    } else {
+      std::ofstream file(spec.output_path);
+      if (!file)
+        throw ExperimentError("cannot open output file '" + spec.output_path +
+                              "'");
+      sink->write(result, file);
+      std::cerr << "wrote " << spec.format << " results to "
+                << spec.output_path << "\n";
+    }
+  } catch (const ExperimentError& e) {
+    std::cerr << "qolsr_eval: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
