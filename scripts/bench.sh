@@ -25,12 +25,30 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target micro_selection micro_path micro_sim qolsr_eval
+  --target micro_selection micro_path micro_sim micro_forwarding qolsr_eval
+
+# Host metadata embedded in both result files: without it, numbers like a
+# threads=0 vs threads=1 parity are uninterpretable (was the runner
+# single-core? which compiler and flags produced the binary?).
+cache_var() {
+  sed -n "s/^$1:[^=]*=//p" "$BUILD_DIR/CMakeCache.txt" | head -1
+}
+CXX_COMPILER="$(cache_var CMAKE_CXX_COMPILER)"
+export QOLSR_BENCH_HOST_JSON="$(python3 -c 'import json, sys; print(json.dumps({
+    "hardware_concurrency": int(sys.argv[1]),
+    "compiler": sys.argv[2],
+    "build_type": sys.argv[3],
+    "cxx_flags": sys.argv[4].strip(),
+    "uname": sys.argv[5],
+}))' "$(nproc)" "$("$CXX_COMPILER" --version | head -1)" \
+    "$(cache_var CMAKE_BUILD_TYPE)" \
+    "$(cache_var CMAKE_CXX_FLAGS) $(cache_var CMAKE_CXX_FLAGS_RELEASE)" \
+    "$(uname -srm)")"
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
-for bench in micro_selection micro_path micro_sim; do
+for bench in micro_selection micro_path micro_sim micro_forwarding; do
   "$BUILD_DIR/$bench" \
     --benchmark_format=json \
     --benchmark_min_time="$MIN_TIME" \
@@ -39,12 +57,17 @@ done
 
 python3 - "$TMP_DIR" "$ROOT/BENCH_micro.json" <<'PY'
 import json
+import os
 import subprocess
 import sys
 
 tmp_dir, out_path = sys.argv[1], sys.argv[2]
-merged = {"context": None, "benchmarks": []}
-for name in ("micro_selection", "micro_path", "micro_sim"):
+
+merged = {"context": None,
+          "host": json.loads(os.environ["QOLSR_BENCH_HOST_JSON"]),
+          "benchmarks": []}
+for name in ("micro_selection", "micro_path", "micro_sim",
+             "micro_forwarding"):
     with open(f"{tmp_dir}/{name}.json") as f:
         data = json.load(f)
     if merged["context"] is None:
@@ -69,12 +92,14 @@ PY
 python3 - "$BUILD_DIR/qolsr_eval" "$ROOT/BENCH_sweep.json" \
     "$SWEEP_RUNS" "$SWEEP_REPS" <<'PY'
 import json
+import os
 import subprocess
 import sys
 import time
 
 binary, out_path, runs, reps = (sys.argv[1], sys.argv[2], sys.argv[3],
                                 int(sys.argv[4]))
+host = json.loads(os.environ["QOLSR_BENCH_HOST_JSON"])
 results = []
 for threads in ("1", "0"):
     flags = [f"--figure=6", f"--runs={runs}", "--seed=42",
@@ -95,6 +120,7 @@ try:
 except OSError:
     commit = ""
 with open(out_path, "w") as f:
-    json.dump({"commit": commit, "benchmarks": results}, f, indent=1)
+    json.dump({"commit": commit, "host": host, "benchmarks": results},
+              f, indent=1)
 print(f"wrote {out_path} ({len(results)} sweep timings)")
 PY

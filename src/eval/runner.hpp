@@ -76,6 +76,11 @@ struct EvalWorkspace {
   /// Per-selector, per-node ANS of the current run; the nested vectors are
   /// resized (keeping capacity) instead of reallocated each run.
   std::vector<std::vector<std::vector<NodeId>>> ans;
+  /// The advertised topology as a reusable CSR view (rebuilt in place per
+  /// selector per run) and the forwarding scratch that routes on it.
+  AdvertisedTopologyBuilder advertised_builder;
+  CsrTopology advertised;
+  ForwardingWorkspace forwarding;
 };
 
 /// Samples one evaluation topology: Poisson deployment, uniform link QoS,
@@ -193,15 +198,17 @@ void execute_run(const Scenario& scenario, double density,
     ForwardingResult routed;
     if (scenario.routing_model == Scenario::RoutingModel::kAnsChain) {
       routed = forward_via_ans<M>(run.graph, ans[si], run.source,
-                                  run.destination, options);
+                                  run.destination, options, ws.forwarding);
     } else {
-      const Graph advertised = build_advertised_topology(run.graph, ans[si]);
+      ws.advertised_builder.build_advertised(run.graph, ans[si],
+                                             ws.advertised);
       routed = scenario.hop_by_hop
-                   ? forward_packet<M>(run.graph, advertised, run.source,
-                                       run.destination, options)
-                   : source_route_packet<M>(run.graph, advertised,
+                   ? forward_packet<M>(run.graph, ws.advertised, run.source,
+                                       run.destination, options,
+                                       ws.forwarding)
+                   : source_route_packet<M>(run.graph, ws.advertised,
                                             run.source, run.destination,
-                                            options);
+                                            options, ws.forwarding);
     }
     const double overhead =
         routed.delivered() ? qos_overhead<M>(routed.value, run.optimal_value)

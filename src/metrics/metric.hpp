@@ -65,6 +65,10 @@ struct AdditiveBase {
   static bool better(double a, double b) {
     return a < b && !values_equal(a, b);
   }
+  /// `better` without the tolerance test — the plain numeric preference.
+  /// Hot loops that have already ruled out a (tolerant) tie use this to
+  /// avoid recomputing the band (see dijkstra_detail::lex_better).
+  static bool raw_better(double a, double b) { return a < b; }
   static double identity() { return 0.0; }
   static double unreachable() { return std::numeric_limits<double>::infinity(); }
 };
@@ -75,6 +79,8 @@ struct ConcaveBase {
   static bool better(double a, double b) {
     return a > b && !values_equal(a, b);
   }
+  /// See AdditiveBase::raw_better.
+  static bool raw_better(double a, double b) { return a > b; }
   static double identity() { return std::numeric_limits<double>::infinity(); }
   static double unreachable() {
     return -std::numeric_limits<double>::infinity();

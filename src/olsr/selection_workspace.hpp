@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/local_view.hpp"
+#include "graph/rng_reduction.hpp"
 #include "path/dijkstra.hpp"
 #include "path/first_hops.hpp"
 
@@ -21,6 +22,7 @@ struct SelectionWorkspace {
   DijkstraWorkspace dijkstra;   ///< inner Dijkstras of compute_first_hops
   FirstHopTable first_hops;     ///< reused fP table (fp lists keep capacity)
   LocalView reduced_view;       ///< topology filtering's RNG-reduced copy
+  RngWitnessScratch rng_witness;  ///< rng_reduce's stamped witness row
   std::vector<std::uint8_t> in_ans;       ///< per-local selection flags
   std::vector<std::uint8_t> covered;      ///< MPR phase-2 coverage flags
   std::vector<std::uint32_t> ids;         ///< small local-id scratch list

@@ -27,7 +27,7 @@ template <Metric M>
 void select_topology_filtering_ans(const LocalView& view,
                                    SelectionWorkspace& ws,
                                    std::vector<NodeId>& out) {
-  rng_reduce<M>(view, ws.reduced_view);
+  rng_reduce<M>(view, ws.reduced_view, ws.rng_witness);
   const LocalView& reduced = ws.reduced_view;
   compute_first_hops<M>(reduced, ws.dijkstra, ws.first_hops);
   const FirstHopTable& table = ws.first_hops;

@@ -73,6 +73,86 @@ class WeightedLocalView {
   std::vector<WeightedEdge> edges_;
 };
 
+/// Maximum-bottleneck spanning forest of a `WeightedLocalView`, the
+/// all-sources engine behind compute_first_hops' concave runs.
+///
+/// Widest-path (max-min) values have the classic spanning-forest property:
+/// the optimal bottleneck between any two nodes equals the minimum edge
+/// weight on their unique forest path, for *any* maximum spanning forest.
+/// So instead of one Dijkstra per root, `build` runs Kruskal once (one
+/// edge sort amortized over every root) and `for_each_from` walks the
+/// forest in O(component) per root, folding values as it goes. Bottleneck
+/// values are exact — independent of how weight ties were broken during
+/// construction — hence identical to the (tolerantly compared) Dijkstra
+/// labels whenever distinct path values sit outside each other's
+/// metric_equal band: always for integral weights, probability-zero
+/// otherwise (the compute_first_hops caveat).
+///
+/// All storage is reused across builds; one instance per thread.
+class BottleneckForest {
+ public:
+  /// Rebuilds the forest of `g` under concave metric M (edge preference
+  /// `dijkstra_detail::raw_better<M>`, i.e. wider is better).
+  template <Metric M>
+  void build(const WeightedLocalView& g);
+
+  /// Visits every node of `root`'s component (root included) exactly once,
+  /// calling `fn(v, value)` where value = M::combine(source_value,
+  /// forest-path bottleneck root→v). Visit order is a DFS order; callers
+  /// must not depend on it.
+  template <Metric M, typename Fn>
+  void for_each_from(std::uint32_t root, double source_value, Fn&& fn) {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+    stamp_[root] = epoch_;
+    value_[root] = source_value;
+    stack_.clear();
+    stack_.push_back(root);
+    while (!stack_.empty()) {
+      const std::uint32_t x = stack_.back();
+      stack_.pop_back();
+      const double vx = value_[x];
+      fn(x, vx);
+      for (std::uint32_t i = row_begin_[x]; i < row_begin_[x + 1]; ++i) {
+        const TreeEdge& e = tree_[i];
+        if (stamp_[e.to] == epoch_) continue;
+        stamp_[e.to] = epoch_;
+        value_[e.to] = M::combine(vx, e.weight);
+        stack_.push_back(e.to);
+      }
+    }
+  }
+
+ private:
+  struct EdgeRec {
+    double weight;
+    std::uint32_t a, b;
+  };
+  struct TreeEdge {
+    std::uint32_t to;
+    double weight;
+  };
+
+  std::uint32_t find(std::uint32_t x) {
+    while (uf_[x] != x) {
+      uf_[x] = uf_[uf_[x]];  // path halving
+      x = uf_[x];
+    }
+    return x;
+  }
+
+  std::vector<EdgeRec> edges_;     ///< sort buffer (each undirected edge once)
+  std::vector<std::uint32_t> uf_;  ///< union-find parents
+  std::vector<std::uint32_t> row_begin_;  ///< forest adjacency CSR
+  std::vector<TreeEdge> tree_;
+  std::vector<std::uint32_t> stack_;  ///< DFS scratch
+  std::vector<double> value_;         ///< folded value per visited node
+  std::vector<std::uint32_t> stamp_;  ///< per-DFS visited epoch
+  std::uint32_t epoch_ = 0;
+};
+
 /// Reusable scratch + label store for `dijkstra`/`dijkstra_min_hop`.
 ///
 /// Labels are epoch-stamped: `begin(n)` bumps the epoch instead of clearing
@@ -162,6 +242,8 @@ class DijkstraWorkspace {
   WeightedLocalView local_csr;
   /// compute_first_hops scratch: (direct-link value, one-hop local id).
   std::vector<std::pair<double, std::uint32_t>> first_hop_order;
+  /// compute_first_hops' concave all-sources engine (see BottleneckForest).
+  BottleneckForest first_hop_forest;
 
   template <typename BetterFn>
   void heap_push(double value, std::uint32_t hops, std::uint32_t node,
@@ -271,17 +353,37 @@ double edge_weight(const E& e) {
   }
 }
 
+/// The metric's tolerance-free numeric preference; falls back to the
+/// tolerant `better` for metrics that don't expose `raw_better`.
+template <Metric M>
+bool raw_better(double a, double b) {
+  if constexpr (requires { { M::raw_better(a, b) } -> std::convertible_to<bool>; }) {
+    return M::raw_better(a, b);
+  } else {
+    return M::better(a, b);
+  }
+}
+
 /// (value, hops) lexicographic "a strictly better than b" under metric M.
 template <Metric M>
 bool lex_better(double av, std::uint32_t ah, double bv, std::uint32_t bh) {
   // Exact ties dominate under concave metrics (every path through one
   // bottleneck link copies its value), and this is the hottest comparison
-  // in the codebase — short-circuit before the tolerant compares.
+  // in the codebase — short-circuit before the tolerant compare.
   if (av == bv) return ah < bh;
-  if (M::better(av, bv)) return true;
-  if (M::better(bv, av)) return false;
-  // Values tie (within tolerance): fewer hops wins.
-  return metric_equal(av, bv) ? ah < bh : false;
+  // One tolerance test settles the rest: inside the band the values tie
+  // (fewer hops wins); outside it the plain numeric preference is exact.
+  if (metric_equal(av, bv)) return ah < bh;
+  return raw_better<M>(av, bv);
+}
+
+/// Value-only strict preference: a strictly (beyond the tolerance band)
+/// better than b. The hop-free analogue of lex_better.
+template <Metric M>
+bool value_better(double av, double bv) {
+  if (av == bv) return false;
+  if (metric_equal(av, bv)) return false;
+  return raw_better<M>(av, bv);
 }
 
 /// Shared label-setting loop; `entry_better` defines the pop order, and
@@ -293,11 +395,12 @@ template <Metric M, typename G, typename EntryBetter, typename RelaxBetter>
 void run_label_setting(const G& graph, std::uint32_t source,
                        std::uint32_t excluded, DijkstraWorkspace& ws,
                        const EntryBetter& entry_better,
-                       const RelaxBetter& relax_better) {
+                       const RelaxBetter& relax_better,
+                       double source_value = M::identity()) {
   ws.begin(graph_size(graph));
   if (source == excluded || source >= ws.size()) return;
-  ws.label(source, M::identity(), 0, kInvalidNode);
-  ws.heap_push(M::identity(), 0, source, entry_better);
+  ws.label(source, source_value, 0, kInvalidNode);
+  ws.heap_push(source_value, 0, source, entry_better);
 
   while (!ws.heap_empty()) {
     const DijkstraWorkspace::Entry top = ws.heap_pop(entry_better);
@@ -361,6 +464,42 @@ DijkstraResult dijkstra(const G& graph, std::uint32_t source,
   return ws.to_result<M>();
 }
 
+/// Value-only label setting: optimal metric value per node, with *no* hop
+/// tie-break. Pops and relaxations compare values alone, so exact ties —
+/// the overwhelmingly common case under concave metrics and integral
+/// weights — are single-compare no-ops instead of decrease-keys, and sift
+/// paths terminate immediately among tied entries.
+///
+/// `source_value` seeds the source label (default: the metric identity).
+/// Under min-composition seeding with q(u,w) computes
+/// combine(q(u,w), dist(w, ·)) directly — values saturate at q(u,w), which
+/// turns most relaxations into ties. Additive metrics must seed with the
+/// identity and fold afterwards: combine is a float sum whose rounding
+/// depends on accumulation order, and a seeded sum would round differently
+/// from combine(first, dist).
+///
+/// Final values are identical to `dijkstra`'s whenever distinct candidate
+/// path values never fall inside each other's metric_equal tolerance band
+/// (always true for integral weights, probability-zero for continuous
+/// draws — the same caveat as compute_first_hops' descending-order
+/// processing). Hop and parent labels are *not* lex-optimal here; use
+/// `dijkstra` when they matter.
+template <Metric M, typename G>
+void dijkstra_values(const G& graph, std::uint32_t source,
+                     DijkstraWorkspace& ws,
+                     double source_value = M::identity()) {
+  auto entry_better = [](const DijkstraWorkspace::Entry& a,
+                         const DijkstraWorkspace::Entry& b) {
+    return dijkstra_detail::value_better<M>(a.value, b.value);
+  };
+  dijkstra_detail::run_label_setting<M>(
+      graph, source, kInvalidNode, ws, entry_better,
+      [](double av, std::uint32_t, double bv, std::uint32_t) {
+        return dijkstra_detail::value_better<M>(av, bv);
+      },
+      source_value);
+}
+
 /// Hop-count-primary variant: minimizes hops, breaking ties by the better
 /// metric value — original OLSR's routing discipline with a QoS tie-break,
 /// which is how the QOLSR baseline routes ("in order to maintain shortest
@@ -390,6 +529,51 @@ DijkstraResult dijkstra_min_hop(const G& graph, std::uint32_t source,
   thread_local DijkstraWorkspace ws;
   dijkstra_min_hop<M>(graph, source, excluded, ws);
   return ws.to_result<M>();
+}
+
+template <Metric M>
+void BottleneckForest::build(const WeightedLocalView& g) {
+  const auto n = static_cast<std::uint32_t>(g.node_count());
+  edges_.clear();
+  for (std::uint32_t a = 0; a < n; ++a)
+    for (const WeightedLocalView::WeightedEdge& e : g.neighbors(a))
+      if (e.to > a) edges_.push_back({e.weight, a, e.to});
+  std::sort(edges_.begin(), edges_.end(),
+            [](const EdgeRec& x, const EdgeRec& y) {
+              return dijkstra_detail::raw_better<M>(x.weight, y.weight);
+            });
+
+  if (uf_.size() < n) uf_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) uf_[i] = i;
+  // Kruskal; accepted edges are compacted to the front of the sort buffer.
+  std::uint32_t accepted = 0;
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    const std::uint32_t ra = find(edges_[i].a);
+    const std::uint32_t rb = find(edges_[i].b);
+    if (ra == rb) continue;
+    uf_[ra] = rb;
+    edges_[accepted++] = edges_[i];
+  }
+
+  // Forest adjacency CSR (both directions); uf_ doubles as the scatter
+  // cursor now that the union-find phase is over.
+  if (row_begin_.size() < std::size_t{n} + 1) row_begin_.resize(n + 1);
+  std::fill(row_begin_.begin(), row_begin_.begin() + n + 1, 0u);
+  for (std::uint32_t i = 0; i < accepted; ++i) {
+    ++row_begin_[edges_[i].a + 1];
+    ++row_begin_[edges_[i].b + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) row_begin_[v + 1] += row_begin_[v];
+  tree_.resize(2 * std::size_t{accepted});
+  for (std::uint32_t v = 0; v < n; ++v) uf_[v] = row_begin_[v];
+  for (std::uint32_t i = 0; i < accepted; ++i) {
+    const EdgeRec& e = edges_[i];
+    tree_[uf_[e.a]++] = {e.b, e.weight};
+    tree_[uf_[e.b]++] = {e.a, e.weight};
+  }
+
+  if (stamp_.size() < n) stamp_.resize(n, 0);
+  if (value_.size() < n) value_.resize(n);
 }
 
 /// Reconstructs the node sequence source..target from `parent` pointers.

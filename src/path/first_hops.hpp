@@ -64,29 +64,58 @@ void compute_first_hops(const LocalView& view, DijkstraWorkspace& ws,
   // full QoS records, no per-edge exclusion test).
   ws.local_csr.assign<M>(view, LocalView::origin_index());
 
-  // Runs the Dijkstra rooted at one-hop neighbor w and folds its distances
-  // into the table. Returns the number of destinations whose fp went from
-  // empty to non-empty.
+  // Folds one candidate value-via-w for destination v into the table.
+  // Returns 1 when v's fp went from empty to non-empty.
+  auto fold = [&out](std::uint32_t v, double cand, std::uint32_t w) {
+    if (!out.fp[v].empty() && cand == out.best[v]) {
+      out.fp[v].push_back(w);  // exact tie — the common case
+      return 0u;
+    }
+    if (out.fp[v].empty() || M::better(cand, out.best[v])) {
+      const std::uint32_t newly = out.fp[v].empty() ? 1u : 0u;
+      out.best[v] = cand;
+      out.fp[v].assign(1, w);
+      return newly;
+    }
+    if (metric_equal(cand, out.best[v])) out.fp[v].push_back(w);
+    return 0u;
+  };
+
+  // Computes all via-w values rooted at one-hop neighbor w and folds them.
+  // Returns the number of destinations whose fp went from empty to
+  // non-empty.
+  //
+  // Only *values* are consumed here, which buys two shortcuts over the
+  // lex-(value, hops) Dijkstra. Concave metrics skip Dijkstra entirely:
+  // max-min values are forest-path bottlenecks on the maximum spanning
+  // forest, built once per view and walked in O(component) per root with
+  // the source seeded at q(u,w) (min-composition makes the folded value
+  // exactly combine(q(u,w), bottleneck)). Additive metrics run the
+  // hop-tie-break-free dijkstra_values — exact value ties cost one compare
+  // instead of a decrease-key — and fold combine(q(u,w), dist) afterwards,
+  // keeping the float accumulation order (and thus the figures)
+  // bit-identical. Either way the values match the seed computation
+  // exactly for integral weights; for continuous draws the descending-
+  // order caveat above applies unchanged.
   auto run_from = [&](std::uint32_t w, double first_value) {
     std::uint32_t newly_reached = 0;
-    dijkstra<M>(ws.local_csr, w, /*excluded=*/kInvalidNode, ws);
-    for (std::uint32_t v = 1; v < n; ++v) {
-      if (!ws.reached(v)) continue;
-      const double cand = M::combine(first_value, ws.value(v));
-      if (!out.fp[v].empty() && cand == out.best[v]) {
-        out.fp[v].push_back(w);  // exact tie — the common case
-      } else if (out.fp[v].empty() || M::better(cand, out.best[v])) {
-        if (out.fp[v].empty()) ++newly_reached;
-        out.best[v] = cand;
-        out.fp[v].assign(1, w);
-      } else if (metric_equal(cand, out.best[v])) {
-        out.fp[v].push_back(w);
+    if constexpr (M::kind == MetricKind::kConcave) {
+      ws.first_hop_forest.for_each_from<M>(
+          w, first_value, [&](std::uint32_t v, double cand) {
+            newly_reached += fold(v, cand, w);
+          });
+    } else {
+      dijkstra_values<M>(ws.local_csr, w, ws);
+      for (std::uint32_t v = 1; v < n; ++v) {
+        if (!ws.reached(v)) continue;
+        newly_reached += fold(v, M::combine(first_value, ws.value(v)), w);
       }
     }
     return newly_reached;
   };
 
   if constexpr (M::kind == MetricKind::kConcave) {
+    ws.first_hop_forest.build<M>(ws.local_csr);
     // Saturation cutoff: via-w values never exceed q(u,w) under min-
     // composition, so once every destination is reached and q(u,w) is
     // strictly (beyond any tolerance) below the weakest current best, w

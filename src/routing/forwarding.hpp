@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -9,6 +11,7 @@
 #include "path/path.hpp"
 #include "routing/advertised_topology.hpp"
 #include "routing/directed.hpp"
+#include "routing/knowledge_view.hpp"
 #include "routing/routing_table.hpp"
 
 namespace qolsr {
@@ -228,6 +231,232 @@ ForwardingResult source_route_packet(const Graph& full,
   }
   result.status = ForwardingStatus::kDelivered;
   result.path.assign(path.begin(), path.end());
+  result.value = evaluate_path<M>(full, result.path);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Workspace forwarding: the allocation-free, copy-free forms. Same
+// semantics, same results, bit for bit — the seed forms above deep-copy
+// the advertised graph once per traversed hop and re-allocate every
+// Dijkstra; these route on a KnowledgeView overlay over the CSR advertised
+// base and reuse one scratch bundle for everything (see DESIGN.md §5).
+// ---------------------------------------------------------------------------
+
+/// Per-thread scratch of the forwarding hot path: the next-hop engines
+/// (Dijkstra labels + concave tie-break BFS), the knowledge overlay, the
+/// ANS-chain directed base and its builder, a view builder for the
+/// use_local_views mode, and the epoch-stamped visited set. One instance
+/// per worker thread; EvalWorkspace carries one.
+struct ForwardingWorkspace {
+  DijkstraWorkspace dijkstra;
+  NextHopScratch next_hop;
+  KnowledgeView knowledge;
+  AdvertisedTopologyBuilder chain_builder;
+  CsrTopology chain_base;
+  LocalViewBuilder view_builder;
+  LocalView view;
+
+  void begin_visit(std::size_t n) {
+    if (visited_stamp_.size() < n) visited_stamp_.resize(n, 0);
+    if (++visit_epoch_ == 0) {
+      std::fill(visited_stamp_.begin(), visited_stamp_.end(), 0);
+      visit_epoch_ = 1;
+    }
+  }
+  bool visited(NodeId v) const { return visited_stamp_[v] == visit_epoch_; }
+  void mark_visited(NodeId v) { visited_stamp_[v] = visit_epoch_; }
+
+ private:
+  std::vector<std::uint32_t> visited_stamp_;
+  std::uint32_t visit_epoch_ = 0;
+};
+
+namespace forwarding_detail {
+
+/// Patches `ws.knowledge` with what `current` knows beyond the advertised
+/// base: its full HELLO-derived 2-hop view (use_local_views) or its own
+/// incident links. Both directions of every link are patched, mirroring
+/// the undirected seed merge exactly.
+template <typename WS>
+void patch_hop_knowledge(WS& ws, const Graph& full, NodeId current,
+                         bool use_local_views) {
+  ws.knowledge.begin_hop();
+  if (use_local_views) {
+    ws.view_builder.build(full, current, ws.view);
+    for (std::uint32_t a = 0; a < ws.view.size(); ++a) {
+      const NodeId ga = ws.view.global_id(a);
+      for (const LocalView::LocalEdge& e : ws.view.neighbors(a)) {
+        if (e.to <= a) continue;  // each undirected link once
+        const NodeId gb = ws.view.global_id(e.to);
+        ws.knowledge.add_link(ga, gb, e.qos);
+        ws.knowledge.add_link(gb, ga, e.qos);
+      }
+    }
+  } else {
+    for (const Edge& e : full.neighbors(current)) {
+      ws.knowledge.add_link(current, e.to, e.qos);
+      ws.knowledge.add_link(e.to, current, e.qos);
+    }
+  }
+  ws.knowledge.finalize_hop();
+}
+
+}  // namespace forwarding_detail
+
+/// Workspace form of forward_packet: routes on `advertised` (the CSR form
+/// of the same topology) without copying a graph at any hop.
+template <Metric M>
+ForwardingResult forward_packet(const Graph& full,
+                                const CsrTopology& advertised, NodeId source,
+                                NodeId destination,
+                                const ForwardingOptions& options,
+                                ForwardingWorkspace& ws) {
+  ForwardingResult result;
+  result.path.push_back(source);
+  if (source == destination) {
+    result.status = ForwardingStatus::kDelivered;
+    result.value = M::identity();
+    return result;
+  }
+
+  const std::size_t cap =
+      options.max_hops > 0 ? options.max_hops : 4 * full.node_count();
+  ws.begin_visit(full.node_count());
+  ws.mark_visited(source);
+  ws.knowledge.reset(advertised);
+
+  NodeId current = source;
+  while (result.path.size() <= cap) {
+    forwarding_detail::patch_hop_knowledge(ws, full, current,
+                                           options.use_local_views);
+    const NodeId next =
+        options.min_hop_routing
+            ? compute_min_hop_next_hop<M, KnowledgeView>(
+                  ws.knowledge, current, destination, ws.dijkstra)
+            : compute_next_hop<M, KnowledgeView>(ws.knowledge, current,
+                                                 destination, ws.dijkstra,
+                                                 ws.next_hop);
+    if (next == kInvalidNode) {
+      result.status = ForwardingStatus::kNoRoute;
+      return result;
+    }
+    result.path.push_back(next);
+    if (next == destination) {
+      result.status = ForwardingStatus::kDelivered;
+      result.value = evaluate_path<M>(full, result.path);
+      return result;
+    }
+    if (ws.visited(next)) {
+      result.status = ForwardingStatus::kLoop;
+      return result;
+    }
+    ws.mark_visited(next);
+    current = next;
+  }
+  result.status = ForwardingStatus::kHopLimit;
+  return result;
+}
+
+/// Workspace form of forward_via_ans: the directed relay base is built
+/// once into `ws.chain_base` (no per-call graph, no per-hop copy).
+template <Metric M>
+ForwardingResult forward_via_ans(
+    const Graph& full, const std::vector<std::vector<NodeId>>& ans_per_node,
+    NodeId source, NodeId destination, const ForwardingOptions& options,
+    ForwardingWorkspace& ws) {
+  ForwardingResult result;
+  result.path.push_back(source);
+  if (source == destination) {
+    result.status = ForwardingStatus::kDelivered;
+    result.value = M::identity();
+    return result;
+  }
+
+  ws.chain_builder.build_ans_chain(full, ans_per_node, destination,
+                                   ws.chain_base);
+
+  const std::size_t cap =
+      options.max_hops > 0 ? options.max_hops : 4 * full.node_count();
+  ws.begin_visit(full.node_count());
+  ws.mark_visited(source);
+  ws.knowledge.reset(ws.chain_base);
+
+  NodeId current = source;
+  while (result.path.size() <= cap) {
+    // This hop's own links, usable as its immediate next hop (directed:
+    // the chain base stays the planning graph of every other node).
+    ws.knowledge.begin_hop();
+    for (const Edge& e : full.neighbors(current))
+      ws.knowledge.add_link(current, e.to, e.qos);
+    ws.knowledge.finalize_hop();
+
+    const NodeId next =
+        options.min_hop_routing
+            ? compute_min_hop_next_hop<M, KnowledgeView>(
+                  ws.knowledge, current, destination, ws.dijkstra)
+            : compute_next_hop<M, KnowledgeView>(ws.knowledge, current,
+                                                 destination, ws.dijkstra,
+                                                 ws.next_hop);
+    if (next == kInvalidNode) {
+      result.status = ForwardingStatus::kNoRoute;
+      return result;
+    }
+    result.path.push_back(next);
+    if (next == destination) {
+      result.status = ForwardingStatus::kDelivered;
+      result.value = evaluate_path<M>(full, result.path);
+      return result;
+    }
+    if (ws.visited(next)) {
+      result.status = ForwardingStatus::kLoop;
+      return result;
+    }
+    ws.mark_visited(next);
+    current = next;
+  }
+  result.status = ForwardingStatus::kHopLimit;
+  return result;
+}
+
+/// Workspace form of source_route_packet.
+template <Metric M>
+ForwardingResult source_route_packet(const Graph& full,
+                                     const CsrTopology& advertised,
+                                     NodeId source, NodeId destination,
+                                     const ForwardingOptions& options,
+                                     ForwardingWorkspace& ws) {
+  ws.knowledge.reset(advertised);
+  forwarding_detail::patch_hop_knowledge(ws, full, source,
+                                         options.use_local_views);
+  if (options.min_hop_routing) {
+    dijkstra_min_hop<M>(ws.knowledge, source, kInvalidNode, ws.dijkstra);
+  } else {
+    dijkstra<M>(ws.knowledge, source, kInvalidNode, ws.dijkstra);
+  }
+
+  ForwardingResult result;
+  // Walk the parent labels back from the destination (extract_path on the
+  // workspace labels, without exporting them densely first).
+  if (destination >= ws.dijkstra.size() ||
+      (destination != source &&
+       ws.dijkstra.parent(destination) == kInvalidNode)) {
+    result.status = ForwardingStatus::kNoRoute;
+    result.path.push_back(source);
+    return result;
+  }
+  for (NodeId v = destination;; v = ws.dijkstra.parent(v)) {
+    result.path.push_back(v);
+    if (v == source) break;
+    if (ws.dijkstra.parent(v) == kInvalidNode) {  // broken chain; defensive
+      result.path.clear();
+      result.status = ForwardingStatus::kNoRoute;
+      result.path.push_back(source);
+      return result;
+    }
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  result.status = ForwardingStatus::kDelivered;
   result.value = evaluate_path<M>(full, result.path);
   return result;
 }
