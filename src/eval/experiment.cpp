@@ -3,6 +3,8 @@
 #include <charconv>
 #include <memory>
 
+#include "eval/dynamic_runner.hpp"
+
 namespace qolsr {
 
 namespace {
@@ -51,6 +53,45 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
                           "': no densities to sweep");
   if (spec.scenario.runs == 0)
     throw ExperimentError("experiment '" + spec.name + "': runs must be > 0");
+  const DynamicsSpec& dynamics = spec.scenario.dynamics;
+  if (spec.scenario.sweep_axis == Scenario::SweepAxis::kSpeed) {
+    if (dynamics.model != DynamicsSpec::Model::kWaypoint)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': the speed axis needs --mobility=waypoint");
+    // Sweep values become the per-point waypoint speed, bypassing the
+    // speed_min/speed_max checks below — a negative speed would walk
+    // nodes out of the field to negative coordinates.
+    for (const double speed : spec.scenario.densities)
+      if (speed < 0.0)
+        throw ExperimentError("experiment '" + spec.name +
+                              "': speed sweep values must be >= 0 m/s");
+  }
+  if (dynamics.enabled()) {
+    if (dynamics.epochs == 0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': epochs must be > 0 under a mobility model");
+    if (dynamics.refresh_interval == 0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': refresh interval must be > 0 (1 = refresh "
+                            "every epoch)");
+    if (dynamics.epoch_duration <= 0.0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': epoch duration must be > 0");
+    if (dynamics.speed_min < 0.0 || dynamics.speed_max < dynamics.speed_min)
+      throw ExperimentError(
+          "experiment '" + spec.name +
+          "': waypoint speeds must satisfy 0 <= min <= max (--speed=LO:HI)");
+    const auto is_probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!is_probability(dynamics.link_down_rate) ||
+        !is_probability(dynamics.link_up_rate))
+      throw ExperimentError("experiment '" + spec.name +
+                            "': churn rates are per-epoch probabilities in "
+                            "[0, 1]");
+    if (spec.per_run || spec.scenario.record_runs)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': per-run records are a static-sweep feature "
+                            "(drop --per-run or --mobility)");
+  }
 
   std::vector<std::unique_ptr<AnsSelector>> owned;
   owned.reserve(spec.selectors.size());
@@ -73,7 +114,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   try {
     result.sweep = dispatch_metric(spec.metric, [&](auto tag) {
       using M = typename decltype(tag)::type;
-      return run_sweep<M>(scenario, selectors, spec.threads);
+      return scenario.dynamics.enabled()
+                 ? run_dynamic_sweep<M>(scenario, selectors, spec.threads)
+                 : run_sweep<M>(scenario, selectors, spec.threads);
     });
   } catch (const ExperimentError&) {
     throw;
@@ -134,6 +177,10 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
       spec.scenario.field.height = parse_double(flag, value.substr(x + 1));
     } else if (flag == "--radius") {
       spec.scenario.field.radius = parse_double(flag, value);
+    } else if (flag == "--degree") {
+      // Only meaningful when the sweep axis is not density (speed sweeps
+      // hold the density fixed at this value).
+      spec.scenario.field.degree = parse_double(flag, value);
     } else if (flag == "--qos-hi") {
       // Magnitude-style intervals only; jitter (0..1) and loss (0..0.2)
       // are probability-shaped and keep their form.
@@ -168,6 +215,52 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
       }
     } else if (flag == "--max-resamples") {
       spec.scenario.max_topology_resamples = parse_uint(flag, value);
+    } else if (flag == "--mobility") {
+      if (value == "none") {
+        spec.scenario.dynamics.model = DynamicsSpec::Model::kNone;
+      } else if (value == "waypoint") {
+        spec.scenario.dynamics.model = DynamicsSpec::Model::kWaypoint;
+      } else if (value == "churn") {
+        spec.scenario.dynamics.model = DynamicsSpec::Model::kChurn;
+      } else {
+        throw ExperimentError(
+            "flag --mobility: expected none|waypoint|churn, got '" +
+            std::string(value) + "'");
+      }
+    } else if (flag == "--epochs") {
+      spec.scenario.dynamics.epochs = parse_uint(flag, value);
+    } else if (flag == "--epoch-duration") {
+      spec.scenario.dynamics.epoch_duration = parse_double(flag, value);
+    } else if (flag == "--speed") {
+      // One value (fixed speed) or LO:HI (per-leg uniform draw).
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        const double v = parse_double(flag, value);
+        spec.scenario.dynamics.speed_min = v;
+        spec.scenario.dynamics.speed_max = v;
+      } else {
+        spec.scenario.dynamics.speed_min =
+            parse_double(flag, value.substr(0, colon));
+        spec.scenario.dynamics.speed_max =
+            parse_double(flag, value.substr(colon + 1));
+      }
+    } else if (flag == "--pause") {
+      spec.scenario.dynamics.pause_epochs = parse_uint(flag, value);
+    } else if (flag == "--churn-down") {
+      spec.scenario.dynamics.link_down_rate = parse_double(flag, value);
+    } else if (flag == "--churn-up") {
+      spec.scenario.dynamics.link_up_rate = parse_double(flag, value);
+    } else if (flag == "--refresh") {
+      spec.scenario.dynamics.refresh_interval = parse_uint(flag, value);
+    } else if (flag == "--axis") {
+      if (value == "density") {
+        spec.scenario.sweep_axis = Scenario::SweepAxis::kDensity;
+      } else if (value == "speed") {
+        spec.scenario.sweep_axis = Scenario::SweepAxis::kSpeed;
+      } else {
+        throw ExperimentError("flag --axis: expected density|speed, got '" +
+                              std::string(value) + "'");
+      }
     } else if (flag == "--format") {
       spec.format = value;
     } else if (flag == "--output") {
@@ -194,6 +287,7 @@ std::string experiment_flags_help() {
       "  --threads=T           worker threads; 0 = hardware concurrency\n"
       "  --field=WxH           deployment field size (default 1000x1000)\n"
       "  --radius=R            unit-disk link radius (default 100)\n"
+      "  --degree=D            fixed mean degree for non-density sweep axes\n"
       "  --qos-hi=V            upper bound of the magnitude-style QoS\n"
       "                        intervals (bandwidth, delay, energy, buffers;\n"
       "                        jitter and loss keep their 0..1 / 0..0.2 form)\n"
@@ -202,6 +296,21 @@ std::string experiment_flags_help() {
       "  --hop-by-hop          hop-by-hop forwarding (default: source routing)\n"
       "  --pairs=two_hop|any   destination draw: N2(u) vs. whole component\n"
       "  --max-resamples=N     degenerate-deployment resample cap\n"
+      "  --mobility=MODEL      none|waypoint|churn: evolve each topology\n"
+      "                        over discrete epochs instead of one static\n"
+      "                        snapshot (delivery ratio, stretch, stale\n"
+      "                        losses, re-advertisement overhead)\n"
+      "  --epochs=N            measured epochs per run (default 50)\n"
+      "  --epoch-duration=S    seconds of movement per epoch (default 1)\n"
+      "  --speed=V|LO:HI       waypoint node speed, m/s (default 1:10)\n"
+      "  --pause=N             waypoint pause epochs (default 0)\n"
+      "  --churn-down=P        per-epoch P(live link fails) (default 0.05)\n"
+      "  --churn-up=P          per-epoch P(failed link recovers) (0.25)\n"
+      "  --refresh=N           epochs between TC refreshes; routing runs on\n"
+      "                        the last refresh's advertised state (def. 1)\n"
+      "  --axis=density|speed  meaning of the sweep values: mean degree or\n"
+      "                        waypoint speed (speed fixes density at the\n"
+      "                        --field degree; needs --mobility=waypoint)\n"
       "  --format=F            table|csv|json (default table)\n"
       "  --output=PATH         write results to PATH instead of stdout\n"
       "  --per-run             also record and emit per-run records\n";

@@ -75,6 +75,11 @@ ExperimentResult run_experiment(
 ///   --continuous-qos      real-valued link weights (default: integers)
 ///   --routing=union|chain --hop-by-hop --pairs=two_hop|any
 ///   --max-resamples=N     sample_run degenerate-deployment cap
+///   --mobility=MODEL      none|waypoint|churn epoch-loop evaluation
+///   --epochs=N --epoch-duration=S --speed=V|LO:HI --pause=N
+///   --churn-down=P --churn-up=P --refresh=N (TC refresh lag, epochs)
+///   --axis=density|speed  sweep-value meaning (--degree fixes density
+///                         for speed sweeps)
 ///   --format=F --output=PATH --per-run
 ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
                                      ExperimentSpec base = {});

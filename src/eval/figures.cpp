@@ -38,6 +38,28 @@ ExperimentSpec figure_spec(int figure, const FigureConfig& config) {
   return spec;
 }
 
+ExperimentSpec figure_m_spec(const FigureConfig& config) {
+  ExperimentSpec spec;
+  spec.name = "figM_delivery_vs_speed";
+  spec.metric = MetricId::kBandwidth;
+  spec.selectors = {"olsr_mpr", "qolsr_mpr1", "qolsr_mpr2",
+                    "topology_filtering", "fnbp"};
+  spec.scenario.sweep_axis = Scenario::SweepAxis::kSpeed;
+  spec.scenario.densities = {1, 5, 10, 15, 20};  // m/s
+  spec.scenario.field.degree = 20.0;
+  // Long multi-hop flows: staleness compounds per traversed hop, which the
+  // paper's 2-hop pairs would hide.
+  spec.scenario.pair_mode = Scenario::PairMode::kAnyConnected;
+  spec.scenario.dynamics.model = DynamicsSpec::Model::kWaypoint;
+  spec.scenario.dynamics.epochs = 50;
+  spec.scenario.dynamics.epoch_duration = 1.0;  // one HELLO period
+  spec.scenario.dynamics.refresh_interval = 5;  // OLSR's TC/HELLO ratio
+  spec.scenario.runs = config.runs;
+  spec.scenario.seed = config.seed;
+  spec.threads = config.threads;
+  return spec;
+}
+
 std::vector<DensityStats> bandwidth_sweep(const FigureConfig& config) {
   return run_experiment(figure_spec(6, config)).sweep;
 }
@@ -46,8 +68,9 @@ std::vector<DensityStats> delay_sweep(const FigureConfig& config) {
   return run_experiment(figure_spec(7, config)).sweep;
 }
 
-util::Table set_size_table(const std::vector<DensityStats>& sweep) {
-  std::vector<std::string> header{"density"};
+util::Table set_size_table(const std::vector<DensityStats>& sweep,
+                           const std::string& axis) {
+  std::vector<std::string> header{axis};
   if (!sweep.empty())
     for (const ProtocolStats& p : sweep.front().protocols)
       header.push_back(p.name);
@@ -60,8 +83,9 @@ util::Table set_size_table(const std::vector<DensityStats>& sweep) {
   return table;
 }
 
-util::Table overhead_table(const std::vector<DensityStats>& sweep) {
-  std::vector<std::string> header{"density"};
+util::Table overhead_table(const std::vector<DensityStats>& sweep,
+                           const std::string& axis) {
+  std::vector<std::string> header{axis};
   if (!sweep.empty())
     for (const ProtocolStats& p : sweep.front().protocols)
       header.push_back(p.name);
@@ -74,8 +98,9 @@ util::Table overhead_table(const std::vector<DensityStats>& sweep) {
   return table;
 }
 
-util::Table diagnostics_table(const std::vector<DensityStats>& sweep) {
-  std::vector<std::string> header{"density", "avg_nodes"};
+util::Table diagnostics_table(const std::vector<DensityStats>& sweep,
+                              const std::string& axis) {
+  std::vector<std::string> header{axis, "avg_nodes"};
   if (!sweep.empty()) {
     for (const ProtocolStats& p : sweep.front().protocols) {
       header.push_back(p.name + "_delivered");
@@ -92,6 +117,29 @@ util::Table diagnostics_table(const std::vector<DensityStats>& sweep) {
                       util::format_double(
                           static_cast<double>(p.delivered + p.failed), 0));
       cells.push_back(util::format_double(p.path_hops.mean(), 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+util::Table dynamics_table(const std::vector<DensityStats>& sweep,
+                           const std::string& axis) {
+  std::vector<std::string> header{axis};
+  if (!sweep.empty()) {
+    for (const ProtocolStats& p : sweep.front().protocols) {
+      header.push_back(p.name + "_delivery");
+      header.push_back(p.name + "_stretch");
+      header.push_back(p.name + "_readv");
+    }
+  }
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<std::string> cells{util::format_double(d.density, 0)};
+    for (const ProtocolStats& p : d.protocols) {
+      cells.push_back(util::format_double(p.delivery_ratio(), 3));
+      cells.push_back(util::format_double(p.stretch.mean(), 3));
+      cells.push_back(util::format_double(p.readvertised.mean(), 1));
     }
     table.add_row(std::move(cells));
   }

@@ -26,6 +26,16 @@ struct FigureConfig {
 /// anything they can compute, `qolsr_eval --figure=N` reproduces.
 ExperimentSpec figure_spec(int figure, const FigureConfig& config = {});
 
+/// "Fig. M" — the repository's canned mobility figure (the paper stops at
+/// static snapshots): delivery ratio vs. node speed under random-waypoint
+/// motion, all five selectors, bandwidth metric. Each sweep point fixes
+/// the waypoint speed (1..20 m/s) at the paper's deployment density
+/// (δ = 20); epochs model 1 s HELLO periods with a 5-epoch TC refresh lag
+/// (OLSR's default TC_INTERVAL/HELLO_INTERVAL ratio), so the delivery
+/// curves measure what each heuristic's advertised set is worth while it
+/// is going stale. `qolsr_eval --figure=M` starts from this spec.
+ExperimentSpec figure_m_spec(const FigureConfig& config = {});
+
 /// Fig. 6 — size of the advertised set vs. density, bandwidth metric.
 util::Table figure6_ans_size_bandwidth(const FigureConfig& config = {});
 
@@ -45,10 +55,21 @@ std::vector<DensityStats> bandwidth_sweep(const FigureConfig& config);
 std::vector<DensityStats> delay_sweep(const FigureConfig& config);
 
 /// Formats a sweep as the paper's Fig. 6/7 series (mean |ANS| per node).
-util::Table set_size_table(const std::vector<DensityStats>& sweep);
+/// `axis` labels the x column ("density" for Figs. 6-9, "speed" for
+/// dynamics speed sweeps — see sweep_axis_name).
+util::Table set_size_table(const std::vector<DensityStats>& sweep,
+                           const std::string& axis = "density");
 /// Formats a sweep as the paper's Fig. 8/9 series (mean QoS overhead).
-util::Table overhead_table(const std::vector<DensityStats>& sweep);
+util::Table overhead_table(const std::vector<DensityStats>& sweep,
+                           const std::string& axis = "density");
 /// Companion diagnostics: delivery counts, path lengths, node counts.
-util::Table diagnostics_table(const std::vector<DensityStats>& sweep);
+util::Table diagnostics_table(const std::vector<DensityStats>& sweep,
+                              const std::string& axis = "density");
+/// The dynamics (epoch-loop) series: delivery ratio, hop stretch, and TC
+/// re-advertisements per refresh (the CSV/JSON sinks additionally split
+/// failures into stale-link drops vs. the rest). Meaningful only for
+/// sweeps run with a mobility model.
+util::Table dynamics_table(const std::vector<DensityStats>& sweep,
+                           const std::string& axis = "speed");
 
 }  // namespace qolsr

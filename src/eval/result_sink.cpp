@@ -50,19 +50,59 @@ std::string json_stats(const util::RunningStats& s) {
          "}";
 }
 
+/// Long-format CSV of a dynamics (epoch-loop) result: one row per
+/// (sweep point, protocol), the sweep axis labeled by its meaning. Every
+/// attempted epoch packet had a connected (source, destination) pair;
+/// `failed` counts all undelivered packets and `stale_losses` the subset
+/// dropped handing off over a vanished advertised link (kStaleLink) —
+/// the losses chargeable specifically to advertisement age.
+void write_dynamic_csv(const ExperimentResult& result, std::ostream& os) {
+  os << "metric," << sweep_axis_name(result.spec.scenario.sweep_axis)
+     << ",runs,epochs,avg_nodes,protocol,set_size_mean,set_size_stddev,"
+        "packets,delivered,failed,stale_losses,delivery_ratio,overhead_mean,"
+        "stretch_mean,path_hops_mean,readvertised_mean\n";
+  const std::string metric{metric_name(result.spec.metric)};
+  for (const DensityStats& d : result.sweep) {
+    for (const ProtocolStats& p : d.protocols) {
+      os << metric << ',' << fmt(d.density) << ',' << d.runs << ','
+         << result.spec.scenario.dynamics.epochs << ','
+         << fmt(d.node_count.mean()) << ',' << p.name << ','
+         << fmt(p.set_size.mean()) << ',' << fmt(p.set_size.stddev()) << ','
+         << p.delivered + p.failed << ',' << p.delivered << ',' << p.failed
+         << ',' << p.stale_losses << ',' << fmt(p.delivery_ratio()) << ','
+         << fmt(p.overhead.mean()) << ',' << fmt(p.stretch.mean()) << ','
+         << fmt(p.path_hops.mean()) << ',' << fmt(p.readvertised.mean())
+         << '\n';
+    }
+  }
+}
+
 }  // namespace
 
 void PrettyTableSink::write(const ExperimentResult& result,
                             std::ostream& os) const {
   const ExperimentSpec& spec = result.spec;
+  const bool dynamic = spec.scenario.dynamics.enabled();
+  const std::string axis = sweep_axis_name(spec.scenario.sweep_axis);
   os << "# " << spec.name << " — metric=" << metric_name(spec.metric)
      << " runs/density=" << spec.scenario.runs << " seed=" << spec.scenario.seed
      << "\n";
+  if (dynamic) {
+    const DynamicsSpec& dyn = spec.scenario.dynamics;
+    os << "# mobility="
+       << (dyn.model == DynamicsSpec::Model::kWaypoint ? "waypoint" : "churn")
+       << " epochs/run=" << dyn.epochs << " refresh=" << dyn.refresh_interval
+       << "\n";
+  }
   os << "\n## advertised set size (mean |ANS| per node)\n"
-     << set_size_table(result.sweep).to_string();
+     << set_size_table(result.sweep, axis).to_string();
+  if (dynamic)
+    os << "\n## delivery ratio / hop stretch / TC re-advertisements\n"
+       << dynamics_table(result.sweep, axis).to_string();
   os << "\n## QoS overhead vs. centralized optimum\n"
-     << overhead_table(result.sweep).to_string();
-  os << "\n## diagnostics\n" << diagnostics_table(result.sweep).to_string();
+     << overhead_table(result.sweep, axis).to_string();
+  os << "\n## diagnostics\n"
+     << diagnostics_table(result.sweep, axis).to_string();
   std::size_t records = 0;
   for (const DensityStats& d : result.sweep) records += d.run_records.size();
   if (records > 0)
@@ -72,6 +112,8 @@ void PrettyTableSink::write(const ExperimentResult& result,
 }
 
 void CsvSink::write(const ExperimentResult& result, std::ostream& os) const {
+  if (result.spec.scenario.dynamics.enabled())
+    return write_dynamic_csv(result, os);
   os << "metric,density,runs,avg_nodes,protocol,set_size_mean,"
         "set_size_stddev,delivered,failed,overhead_mean,overhead_stddev,"
         "path_hops_mean\n";
@@ -128,6 +170,22 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
   os << "  \"runs\": " << spec.scenario.runs << ",\n";
   os << "  \"seed\": " << spec.scenario.seed << ",\n";
   os << "  \"threads\": " << spec.threads << ",\n";
+  const bool dynamic = spec.scenario.dynamics.enabled();
+  if (dynamic) {
+    const DynamicsSpec& dyn = spec.scenario.dynamics;
+    os << "  \"axis\": \"" << sweep_axis_name(spec.scenario.sweep_axis)
+       << "\",\n";
+    os << "  \"dynamics\": {\"model\": \""
+       << (dyn.model == DynamicsSpec::Model::kWaypoint ? "waypoint" : "churn")
+       << "\", \"epochs\": " << dyn.epochs
+       << ", \"epoch_duration\": " << fmt(dyn.epoch_duration)
+       << ", \"refresh_interval\": " << dyn.refresh_interval
+       << ", \"speed_min\": " << fmt(dyn.speed_min)
+       << ", \"speed_max\": " << fmt(dyn.speed_max)
+       << ", \"pause_epochs\": " << dyn.pause_epochs
+       << ", \"link_down_rate\": " << fmt(dyn.link_down_rate)
+       << ", \"link_up_rate\": " << fmt(dyn.link_up_rate) << "},\n";
+  }
   os << "  \"densities\": [";
   for (std::size_t di = 0; di < result.sweep.size(); ++di) {
     const DensityStats& d = result.sweep[di];
@@ -143,7 +201,14 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
          << ", \"failed\": " << p.failed
          << ",\n         \"set_size\": " << json_stats(p.set_size)
          << ",\n         \"overhead\": " << json_stats(p.overhead)
-         << ",\n         \"path_hops\": " << json_stats(p.path_hops) << "}";
+         << ",\n         \"path_hops\": " << json_stats(p.path_hops);
+      if (dynamic) {
+        os << ",\n         \"delivery_ratio\": " << json_num(p.delivery_ratio())
+           << ", \"stale_losses\": " << p.stale_losses
+           << ",\n         \"stretch\": " << json_stats(p.stretch)
+           << ",\n         \"readvertised\": " << json_stats(p.readvertised);
+      }
+      os << "}";
     }
     os << "\n      ]";
     if (!d.run_records.empty()) {

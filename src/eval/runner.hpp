@@ -23,7 +23,10 @@
 
 namespace qolsr {
 
-/// Aggregated measurements of one protocol at one density.
+/// Aggregated measurements of one protocol at one sweep point. Static
+/// sweeps sample once per run; the dynamics epoch loop samples once per
+/// measured epoch (set_size, overhead, path_hops, delivered/failed) and
+/// additionally fills the dynamics-only aggregates below.
 struct ProtocolStats {
   std::string name;
   util::RunningStats set_size;   ///< mean |ANS| per node, one sample per run
@@ -31,6 +34,28 @@ struct ProtocolStats {
   util::RunningStats path_hops;  ///< hop length of the delivered route
   std::size_t delivered = 0;
   std::size_t failed = 0;        ///< no-route / loop / hop-limit outcomes
+  // ---- dynamics-mode only (empty in static sweeps) ----------------------
+  /// Of `failed`: packets lost handing off over an advertised link that no
+  /// longer exists (ForwardingStatus::kStaleLink) — losses specifically
+  /// chargeable to advertisement *age*, as opposed to advertised state
+  /// that never connected the pair (kNoRoute) or routing pathologies
+  /// (kLoop / kHopLimit).
+  std::size_t stale_losses = 0;
+  /// Hop stretch of delivered epoch packets: traversed hops / min-hop
+  /// distance on the *current* true graph.
+  util::RunningStats stretch;
+  /// Per TC refresh: nodes whose advertised set changed since the last
+  /// refresh (TC messages the refresh floods).
+  util::RunningStats readvertised;
+
+  /// Delivered fraction of attempted packets (0 when none were attempted)
+  /// — the headline dynamics series, shared by every result emitter.
+  double delivery_ratio() const {
+    const std::size_t attempted = delivered + failed;
+    return attempted > 0
+               ? static_cast<double>(delivered) / static_cast<double>(attempted)
+               : 0.0;
+  }
 };
 
 /// One run's raw measurements, kept only when Scenario::record_runs is on
@@ -249,6 +274,9 @@ inline void merge_into(DensityStats& into, DensityStats& from) {
     a.path_hops.merge(b.path_hops);
     a.delivered += b.delivered;
     a.failed += b.failed;
+    a.stale_losses += b.stale_losses;
+    a.stretch.merge(b.stretch);
+    a.readvertised.merge(b.readvertised);
   }
 }
 
@@ -258,26 +286,31 @@ inline DensityStats empty_stats(
   DensityStats stats;
   stats.density = density;
   stats.runs = runs;
-  for (const AnsSelector* s : selectors)
-    stats.protocols.push_back({std::string(s->name()), {}, {}, {}, 0, 0});
+  stats.protocols.resize(selectors.size());
+  for (std::size_t si = 0; si < selectors.size(); ++si)
+    stats.protocols[si].name = std::string(selectors[si]->name());
   return stats;
 }
 
 }  // namespace eval_detail
 
-/// Runs the full density sweep for a set of selection heuristics under
-/// metric M: per run, every node's ANS (oracle selection on its exact
-/// G_u), the advertised topology, and one routed packet per protocol on the
-/// shared (source, destination) pair.
+namespace eval_detail {
+
+/// The threaded sweep scaffold shared by the static and the dynamics
+/// evaluation modes: distributes `scenario.runs` independent runs per
+/// sweep point over `threads` workers (each worker owns one `Workspace`),
+/// merges the partial stats, and restores run-record order. `execute` is
+/// called as `execute(scenario, axis_value, run_index, run_seed,
+/// selectors, stats, ws)` — the per-run body is the only thing the two
+/// modes do differently.
 ///
 /// Runs are independent (each derives its own RNG stream from the scenario
-/// seed), so they are distributed over `threads` workers; results are
-/// merged and identical for every thread count, including 1. `threads == 0`
-/// (the default) means hardware_concurrency.
-template <Metric M>
-std::vector<DensityStats> run_sweep(
+/// seed), so results are identical for every thread count, including 1.
+/// `threads == 0` means hardware_concurrency.
+template <typename Workspace, typename ExecuteRun>
+std::vector<DensityStats> sweep_harness(
     const Scenario& scenario, const std::vector<const AnsSelector*>& selectors,
-    unsigned threads = 0) {
+    unsigned threads, const ExecuteRun& execute) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   threads = static_cast<unsigned>(
@@ -287,18 +320,19 @@ std::vector<DensityStats> run_sweep(
   sweep.reserve(scenario.densities.size());
 
   for (std::size_t di = 0; di < scenario.densities.size(); ++di) {
-    const double density = scenario.densities[di];
+    const double axis_value = scenario.densities[di];
     auto seed_of = [&](std::size_t run_index) {
       return scenario.seed + 0x1000003 * (di + 1) + run_index;
     };
 
     std::vector<DensityStats> partials(
-        threads, eval_detail::empty_stats(density, scenario.runs, selectors));
+        threads,
+        eval_detail::empty_stats(axis_value, scenario.runs, selectors));
     if (threads == 1) {
-      EvalWorkspace ws;
+      Workspace ws;
       for (std::size_t r = 0; r < scenario.runs; ++r)
-        eval_detail::execute_run<M>(scenario, density, r, seed_of(r),
-                                    selectors, partials[0], ws);
+        execute(scenario, axis_value, r, seed_of(r), selectors, partials[0],
+                ws);
     } else {
       // A worker that throws (e.g. the sample_run resample cap) parks the
       // exception and stops; the first one is rethrown on the calling
@@ -309,10 +343,10 @@ std::vector<DensityStats> run_sweep(
       for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&, t] {
           try {
-            EvalWorkspace ws;
+            Workspace ws;
             for (std::size_t r = t; r < scenario.runs; r += threads)
-              eval_detail::execute_run<M>(scenario, density, r, seed_of(r),
-                                          selectors, partials[t], ws);
+              execute(scenario, axis_value, r, seed_of(r), selectors,
+                      partials[t], ws);
           } catch (...) {
             errors[t] = std::current_exception();
           }
@@ -335,6 +369,28 @@ std::vector<DensityStats> run_sweep(
     sweep.push_back(std::move(stats));
   }
   return sweep;
+}
+
+}  // namespace eval_detail
+
+/// Runs the full density sweep for a set of selection heuristics under
+/// metric M: per run, every node's ANS (oracle selection on its exact
+/// G_u), the advertised topology, and one routed packet per protocol on the
+/// shared (source, destination) pair. The dynamics counterpart is
+/// `run_dynamic_sweep` (eval/dynamic_runner.hpp), which drives the same
+/// harness with an epoch loop per run.
+template <Metric M>
+std::vector<DensityStats> run_sweep(
+    const Scenario& scenario, const std::vector<const AnsSelector*>& selectors,
+    unsigned threads = 0) {
+  return eval_detail::sweep_harness<EvalWorkspace>(
+      scenario, selectors, threads,
+      [](const Scenario& sc, double density, std::size_t run_index,
+         std::uint64_t run_seed, const std::vector<const AnsSelector*>& sel,
+         DensityStats& stats, EvalWorkspace& ws) {
+        eval_detail::execute_run<M>(sc, density, run_index, run_seed, sel,
+                                    stats, ws);
+      });
 }
 
 }  // namespace qolsr

@@ -8,6 +8,44 @@
 
 namespace qolsr {
 
+/// The dynamic-topology axis of a scenario: a mobility/churn model evolves
+/// each sampled deployment over discrete epochs, the per-epoch link delta
+/// drives incremental selection maintenance (only dirty nodes re-select —
+/// src/olsr/incremental.hpp), and routing runs on *advertised state that
+/// refreshes only every `refresh_interval` epochs*, so the measured
+/// delivery ratio / stretch / stale losses quantify what topology change
+/// costs between TC refreshes. `model == kNone` (the default) keeps the
+/// static one-shot evaluation byte-identical to before this block existed.
+struct DynamicsSpec {
+  enum class Model {
+    kNone,      ///< static evaluation (the paper's Figs. 6-9 mode)
+    kWaypoint,  ///< random waypoint motion + unit-disk relinking
+    kChurn,     ///< link up/down churn without motion
+  };
+  Model model = Model::kNone;
+  /// Measured epochs per run (epoch 0 — deployment + full initial
+  /// selection + first advertisement — is setup, not measurement).
+  std::size_t epochs = 50;
+  /// Seconds of movement per epoch; one epoch models one HELLO period, so
+  /// node-local selection reacts every epoch while the advertised state
+  /// lags (below).
+  double epoch_duration = 1.0;
+  // -- waypoint knobs --
+  double speed_min = 1.0;        ///< m/s, per-leg uniform draw
+  double speed_max = 10.0;       ///< m/s (the speed axis overrides both)
+  std::size_t pause_epochs = 0;  ///< epochs parked at each waypoint
+  // -- churn knobs --
+  double link_down_rate = 0.05;  ///< per-epoch P(live link fails)
+  double link_up_rate = 0.25;    ///< per-epoch P(failed link recovers)
+  /// Epochs between TC refreshes: selection tracks the topology every
+  /// epoch, but routing uses the ANS tables advertised at the last
+  /// refresh. 1 = fresh every epoch (no lag); 5 models OLSR's default
+  /// TC_INTERVAL / HELLO_INTERVAL ratio.
+  std::size_t refresh_interval = 1;
+
+  bool enabled() const { return model != Model::kNone; }
+};
+
 /// One evaluation sweep, mirroring the paper's §IV-A settings: nodes in a
 /// 1000×1000 field, R = 100, Poisson deployment of mean degree δ, link
 /// weights uniform in a fixed interval, 100 runs per density with one
@@ -65,9 +103,25 @@ struct Scenario {
   /// Keep one RunRecord per run in DensityStats::run_records (per-run set
   /// sizes, routed values, overheads) in addition to the aggregates. Off by
   /// default: the hot path stays allocation-free and the aggregates are all
-  /// the figures need.
+  /// the figures need. (Static sweeps only — the epoch loop reports
+  /// aggregates.)
   bool record_runs = false;
+  /// The mobility/churn epoch loop; disabled (static evaluation) unless a
+  /// model is set. See DynamicsSpec.
+  DynamicsSpec dynamics;
+  /// What the values of `densities` mean. kDensity (default): mean node
+  /// degree δ, the x-axis of Figs. 6-9. kSpeed (dynamics only): node speed
+  /// in m/s — each sweep point fixes the waypoint model's speed_min =
+  /// speed_max to the value while the deployment density stays
+  /// `field.degree` (the x-axis of Fig. M, delivery ratio vs. speed).
+  enum class SweepAxis { kDensity, kSpeed };
+  SweepAxis sweep_axis = SweepAxis::kDensity;
 };
+
+/// Column label of the sweep axis in emitted results.
+inline const char* sweep_axis_name(Scenario::SweepAxis axis) {
+  return axis == Scenario::SweepAxis::kSpeed ? "speed" : "density";
+}
 
 /// Densities used by the bandwidth figures (6 and 8).
 inline std::vector<double> bandwidth_densities() {

@@ -88,8 +88,7 @@ Graph sample_poisson_deployment(const DeploymentConfig& config,
   return build_unit_disk_graph(positions, config.radius);
 }
 
-void assign_uniform_qos(Graph& graph, const QosIntervals& iv,
-                        util::Rng& rng) {
+LinkQos draw_uniform_qos(const QosIntervals& iv, util::Rng& rng) {
   auto draw = [&](double lo, double hi) {
     if (!iv.integral) return rng.uniform(lo, hi);
     const auto ilo = static_cast<std::int64_t>(std::ceil(lo));
@@ -97,18 +96,65 @@ void assign_uniform_qos(Graph& graph, const QosIntervals& iv,
     if (ihi <= ilo) return static_cast<double>(ilo);
     return static_cast<double>(rng.uniform_int(ilo, ihi));
   };
+  LinkQos qos;
+  qos.bandwidth = draw(iv.bandwidth_lo, iv.bandwidth_hi);
+  qos.delay = draw(iv.delay_lo, iv.delay_hi);
+  qos.jitter = draw(iv.jitter_lo, iv.jitter_hi);
+  qos.loss_cost = draw(iv.loss_lo, iv.loss_hi);
+  qos.energy = draw(iv.energy_lo, iv.energy_hi);
+  qos.buffers = draw(iv.buffers_lo, iv.buffers_hi);
+  return qos;
+}
+
+void assign_uniform_qos(Graph& graph, const QosIntervals& iv,
+                        util::Rng& rng) {
   for (NodeId u = 0; u < graph.node_count(); ++u) {
     for (const Edge& e : graph.neighbors(u)) {
       if (e.to <= u) continue;  // one draw per undirected link
-      LinkQos qos;
-      qos.bandwidth = draw(iv.bandwidth_lo, iv.bandwidth_hi);
-      qos.delay = draw(iv.delay_lo, iv.delay_hi);
-      qos.jitter = draw(iv.jitter_lo, iv.jitter_hi);
-      qos.loss_cost = draw(iv.loss_lo, iv.loss_hi);
-      qos.energy = draw(iv.energy_lo, iv.energy_hi);
-      qos.buffers = draw(iv.buffers_lo, iv.buffers_hi);
-      graph.set_edge_qos(u, e.to, qos);
+      graph.set_edge_qos(u, e.to, draw_uniform_qos(iv, rng));
     }
+  }
+}
+
+void update_unit_disk_links(Graph& graph, double radius,
+                            const QosIntervals& intervals, util::Rng& rng,
+                            std::vector<LinkEvent>& events) {
+  const std::size_t n = graph.node_count();
+  if (n == 0) return;
+  std::vector<Point> positions(n);
+  for (NodeId u = 0; u < n; ++u) positions[u] = graph.position(u);
+
+  // Removals: a stretched link is found on its own adjacency row — the
+  // far endpoint may have left the 3x3 cell neighborhood entirely, so the
+  // grid cannot be trusted to rediscover it.
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  for (NodeId u = 0; u < n; ++u)
+    for (const Edge& e : graph.neighbors(u))
+      if (e.to > u && !within_radius(positions[u], positions[e.to], radius))
+        removed.push_back({u, e.to});
+
+  // Additions discovered through the grid; collected first and applied in
+  // ascending (a, b) order so the per-link QoS draws consume the RNG
+  // stream in an order independent of the cell enumeration.
+  std::vector<std::pair<NodeId, NodeId>> added;
+  const CellIndex index(positions, radius);
+  for (NodeId u = 0; u < n; ++u) {
+    index.for_each_candidate(positions[u], [&](NodeId v) {
+      if (v <= u) return;  // each unordered pair once
+      if (within_radius(positions[u], positions[v], radius) &&
+          !graph.has_edge(u, v))
+        added.push_back({u, v});
+    });
+  }
+  std::sort(added.begin(), added.end());
+
+  for (const auto& [a, b] : removed) {
+    graph.remove_edge(a, b);
+    events.push_back({a, b, false});
+  }
+  for (const auto& [a, b] : added) {
+    graph.add_edge(a, b, draw_uniform_qos(intervals, rng));
+    events.push_back({a, b, true});
   }
 }
 

@@ -2,8 +2,10 @@
 
 #include <cstddef>
 #include <numbers>
+#include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/link_event.hpp"
 #include "util/rng.hpp"
 
 namespace qolsr {
@@ -59,5 +61,25 @@ struct QosIntervals {
 /// Draws independent uniform QoS values for every link of `graph`.
 void assign_uniform_qos(Graph& graph, const QosIntervals& intervals,
                         util::Rng& rng);
+
+/// One uniformly drawn QoS record (the per-link draw of
+/// `assign_uniform_qos`, exposed for incremental callers that create links
+/// one at a time — mobility models drawing weights for freshly formed
+/// links). Component draw order is fixed (bandwidth, delay, jitter, loss,
+/// energy, buffers) so RNG streams are reproducible.
+LinkQos draw_uniform_qos(const QosIntervals& intervals, util::Rng& rng);
+
+/// Re-derives the unit-disk link set of `graph` from its *current* node
+/// positions, in place: links stretched past `radius` are removed, pairs
+/// that moved within `radius` are linked with fresh QoS drawn from
+/// `intervals`, and surviving links keep their records untouched. One
+/// normalized (a < b) `LinkEvent` per change is appended to `events`
+/// (removals first, then additions, each ascending by (a, b)), which is
+/// exactly the delta the incremental selection maintenance consumes.
+/// O(n + changed) expected via the same grid binning as
+/// `build_unit_disk_graph`.
+void update_unit_disk_links(Graph& graph, double radius,
+                            const QosIntervals& intervals, util::Rng& rng,
+                            std::vector<LinkEvent>& events);
 
 }  // namespace qolsr

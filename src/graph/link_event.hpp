@@ -1,0 +1,20 @@
+#pragma once
+
+#include "graph/node_id.hpp"
+
+namespace qolsr {
+
+/// One undirected link appearing (`up`) or disappearing (`!up`) during a
+/// topology update — the delta currency between the mobility models
+/// (src/sim/mobility.hpp) and the incremental selection maintenance
+/// (src/olsr/incremental.hpp). Endpoints are normalized to a < b so an
+/// event names its link uniquely.
+struct LinkEvent {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  bool up = false;
+
+  friend bool operator==(const LinkEvent&, const LinkEvent&) = default;
+};
+
+}  // namespace qolsr

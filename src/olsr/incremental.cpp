@@ -1,0 +1,35 @@
+#include "olsr/incremental.hpp"
+
+namespace qolsr {
+
+void collect_dirty_nodes(const Graph& after, std::span<const LinkEvent> events,
+                         DirtyNodeTracker& dirty) {
+  for (const LinkEvent& event : events) {
+    dirty.mark(event.a);
+    dirty.mark(event.b);
+    for (const Edge& e : after.neighbors(event.a)) dirty.mark(e.to);
+    for (const Edge& e : after.neighbors(event.b)) dirty.mark(e.to);
+  }
+}
+
+void refresh_dirty_selection(
+    const Graph& graph, const std::vector<const AnsSelector*>& selectors,
+    DirtyNodeTracker& dirty, LocalViewBuilder& view_builder, LocalView& view,
+    SelectionWorkspace& selection,
+    std::vector<std::vector<std::vector<NodeId>>>& ans) {
+  for (const NodeId u : dirty.sorted_nodes()) {
+    view_builder.build(graph, u, view);
+    for (std::size_t si = 0; si < selectors.size(); ++si)
+      selectors[si]->select_into(view, selection, ans[si][u]);
+  }
+}
+
+std::size_t count_changed_ans(const std::vector<std::vector<NodeId>>& now,
+                              const std::vector<std::vector<NodeId>>& before) {
+  std::size_t changed = 0;
+  for (std::size_t u = 0; u < now.size(); ++u)
+    changed += now[u] != before[u] ? 1 : 0;
+  return changed;
+}
+
+}  // namespace qolsr

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/link_event.hpp"
+#include "graph/local_view.hpp"
+#include "olsr/selection_workspace.hpp"
+#include "olsr/selector.hpp"
+
+namespace qolsr {
+
+/// Epoch-stamped node set for the incremental selection maintenance: O(1)
+/// mark/test, O(marked) iteration, zero clearing cost between epochs. One
+/// instance per worker thread, reused across epochs and runs.
+class DirtyNodeTracker {
+ public:
+  /// Starts a fresh (empty) epoch over `n` nodes.
+  void begin_epoch(std::size_t n) {
+    if (stamp_.size() < n) stamp_.resize(n, 0);
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+    nodes_.clear();
+  }
+
+  void mark(NodeId v) {
+    if (stamp_[v] == epoch_) return;
+    stamp_[v] = epoch_;
+    nodes_.push_back(v);
+  }
+
+  bool contains(NodeId v) const {
+    return v < stamp_.size() && stamp_[v] == epoch_;
+  }
+
+  /// Marked nodes, ascending (sorted on access; marking happens in event
+  /// order, re-selection wants a reproducible sweep order).
+  std::span<const NodeId> sorted_nodes() {
+    std::sort(nodes_.begin(), nodes_.end());
+    return nodes_;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> nodes_;
+};
+
+/// Marks every node whose 2-hop view G_w (and hence, possibly, its
+/// advertised set) changed under this epoch's link delta. A link (a,b)
+/// belongs to G_w exactly when one of its endpoints is w or a 1-hop
+/// neighbor of w, so the dirty set of one event is {a, b} ∪ N(a) ∪ N(b);
+/// `after` is the post-delta graph — a node adjacent to a or b only
+/// *before* the epoch necessarily lost that adjacency through an event of
+/// its own and is marked as that event's endpoint. Everyone else's view is
+/// bit-identical, which is what lets the evaluation re-run selection for
+/// the dirty nodes only (the incremental-vs-rebuild equivalence test pins
+/// this). Call `dirty.begin_epoch` first; events of one epoch accumulate.
+void collect_dirty_nodes(const Graph& after, std::span<const LinkEvent> events,
+                         DirtyNodeTracker& dirty);
+
+/// Re-runs every selector on exactly the dirty nodes, patching the
+/// per-selector ANS table `ans` in place (`ans[si][u]` keeps its capacity;
+/// clean nodes are not touched). Each dirty node's view is built once into
+/// `view` and shared by all selectors — the same pipeline shape as the
+/// static sweep's full pass, restricted to the dirty set.
+void refresh_dirty_selection(const Graph& graph,
+                             const std::vector<const AnsSelector*>& selectors,
+                             DirtyNodeTracker& dirty,
+                             LocalViewBuilder& view_builder, LocalView& view,
+                             SelectionWorkspace& selection,
+                             std::vector<std::vector<std::vector<NodeId>>>& ans);
+
+/// Number of nodes whose advertised set differs between two ANS tables of
+/// the same shape — the TC re-advertisement count a refresh would trigger
+/// (each changed node floods one updated TC message).
+std::size_t count_changed_ans(const std::vector<std::vector<NodeId>>& now,
+                              const std::vector<std::vector<NodeId>>& before);
+
+}  // namespace qolsr

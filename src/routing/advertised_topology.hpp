@@ -30,6 +30,10 @@ class CsrTopology {
   std::span<const Edge> neighbors(NodeId v) const {
     return {edges_.data() + row_begin_[v], row_begin_[v + 1] - row_begin_[v]};
   }
+  /// Directed adjacency records held (an undirected union stores 2 per
+  /// advertised link) — the advertised-state size the dynamics evaluation
+  /// tracks across refreshes.
+  std::size_t edge_count() const { return edges_.size(); }
   bool has_edge(NodeId from, NodeId to) const;
   /// QoS of the edge from→to, or nullptr when absent.
   const LinkQos* edge_qos(NodeId from, NodeId to) const;

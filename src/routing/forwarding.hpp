@@ -22,6 +22,7 @@ enum class ForwardingStatus {
   kNoRoute,    ///< some hop had no path to the destination
   kLoop,       ///< a node was visited twice
   kHopLimit,   ///< safety cap exceeded
+  kStaleLink,  ///< verify_links: the chosen next-hop link no longer exists
 };
 
 struct ForwardingResult {
@@ -51,6 +52,22 @@ struct ForwardingOptions {
   /// this way — it "maintains shortest paths in terms of number of hops"
   /// (paper §II) — which is precisely why it strays from the QoS optimum.
   bool min_hop_routing = false;
+  /// Stale-advertisement (dynamics) mode, workspace forms only: the
+  /// advertised topology handed in may predate the current `full` graph
+  /// (the last TC refresh's knowledge), so the plan can ride links that no
+  /// longer exist. Before the packet is handed to a computed next hop, the
+  /// link is verified against `full`; a vanished link aborts the attempt
+  /// with kStaleLink — the transmission fails, which is the stale-route
+  /// packet loss the epoch-loop evaluation measures. Source routing
+  /// verifies every planned hop as the packet walks the plan. Off (no
+  /// verification, advertised state assumed current) by default.
+  bool verify_links = false;
+  /// Dynamics mode, ANS-chain model only: plan the directed relay base on
+  /// this graph — the topology as of the last TC refresh — instead of
+  /// `full`, so relay links that died since the advertisement stay in
+  /// every hop's plan: knowledge is exactly as stale as the TC flood that
+  /// spread it. Each hop's *own* links still come fresh from `full`.
+  const Graph* advertised_snapshot = nullptr;
 };
 
 /// Hop-by-hop forwarding of one packet, the paper's routing model: every
@@ -341,6 +358,10 @@ ForwardingResult forward_packet(const Graph& full,
       result.status = ForwardingStatus::kNoRoute;
       return result;
     }
+    if (options.verify_links && full.edge_qos(current, next) == nullptr) {
+      result.status = ForwardingStatus::kStaleLink;
+      return result;
+    }
     result.path.push_back(next);
     if (next == destination) {
       result.status = ForwardingStatus::kDelivered;
@@ -373,7 +394,10 @@ ForwardingResult forward_via_ans(
     return result;
   }
 
-  ws.chain_builder.build_ans_chain(full, ans_per_node, destination,
+  const Graph& planning = options.advertised_snapshot != nullptr
+                              ? *options.advertised_snapshot
+                              : full;
+  ws.chain_builder.build_ans_chain(planning, ans_per_node, destination,
                                    ws.chain_base);
 
   const std::size_t cap =
@@ -400,6 +424,10 @@ ForwardingResult forward_via_ans(
                                                  ws.next_hop);
     if (next == kInvalidNode) {
       result.status = ForwardingStatus::kNoRoute;
+      return result;
+    }
+    if (options.verify_links && full.edge_qos(current, next) == nullptr) {
+      result.status = ForwardingStatus::kStaleLink;
       return result;
     }
     result.path.push_back(next);
@@ -456,6 +484,17 @@ ForwardingResult source_route_packet(const Graph& full,
     }
   }
   std::reverse(result.path.begin(), result.path.end());
+  if (options.verify_links) {
+    // The packet walks the plan hop by hop; it is lost at the first
+    // planned link that no longer exists, having reached path[0..i].
+    for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+      if (full.edge_qos(result.path[i], result.path[i + 1]) == nullptr) {
+        result.path.resize(i + 1);
+        result.status = ForwardingStatus::kStaleLink;
+        return result;
+      }
+    }
+  }
   result.status = ForwardingStatus::kDelivered;
   result.value = evaluate_path<M>(full, result.path);
   return result;

@@ -1,0 +1,97 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qolsr {
+
+namespace {
+
+/// One uniform waypoint draw; x before y so the stream layout is fixed.
+Point draw_waypoint(const WaypointConfig& config, util::Rng& rng) {
+  const double x = rng.uniform(0.0, config.width);
+  const double y = rng.uniform(0.0, config.height);
+  return {x, y};
+}
+
+double draw_speed(const WaypointConfig& config, util::Rng& rng) {
+  if (config.speed_max <= config.speed_min) return config.speed_min;
+  return rng.uniform(config.speed_min, config.speed_max);
+}
+
+}  // namespace
+
+RandomWaypointModel::RandomWaypointModel(const WaypointConfig& config,
+                                         const Graph& graph, util::Rng& rng)
+    : config_(config) {
+  legs_.resize(graph.node_count());
+  for (Leg& leg : legs_) {
+    leg.target = draw_waypoint(config_, rng);
+    leg.speed = draw_speed(config_, rng);
+    leg.pause_left = 0;
+  }
+}
+
+void RandomWaypointModel::step(Graph& graph, util::Rng& rng,
+                               std::vector<LinkEvent>& events) {
+  for (NodeId u = 0; u < legs_.size(); ++u) {
+    Leg& leg = legs_[u];
+    if (leg.pause_left > 0) {
+      if (--leg.pause_left == 0) {
+        leg.target = draw_waypoint(config_, rng);
+        leg.speed = draw_speed(config_, rng);
+      }
+      continue;
+    }
+    const Point at = graph.position(u);
+    const double remaining = distance(at, leg.target);
+    const double stride = leg.speed * config_.epoch_duration;
+    if (remaining <= stride) {
+      graph.set_position(u, leg.target);
+      if (config_.pause_epochs > 0) {
+        leg.pause_left = config_.pause_epochs;
+      } else {
+        leg.target = draw_waypoint(config_, rng);
+        leg.speed = draw_speed(config_, rng);
+      }
+    } else {
+      const double scale = stride / remaining;
+      graph.set_position(u, {at.x + (leg.target.x - at.x) * scale,
+                             at.y + (leg.target.y - at.y) * scale});
+    }
+  }
+  update_unit_disk_links(graph, config_.radius, config_.qos, rng, events);
+}
+
+void LinkChurnModel::step(Graph& graph, util::Rng& rng,
+                          std::vector<LinkEvent>& events) {
+  // Recovery pass over the failed pool (oldest first; stable compaction
+  // keeps the iteration order — and hence the RNG stream — reproducible).
+  std::size_t kept = 0;
+  for (const DownLink& link : down_) {
+    if (rng.uniform01() < config_.up_rate) {
+      graph.add_edge(link.a, link.b, link.qos);
+      events.push_back({link.a, link.b, true});
+    } else {
+      down_[kept++] = link;
+    }
+  }
+  down_.resize(kept);
+
+  // Failure pass over the live links, ascending (a, b); collected first —
+  // removing while iterating a neighbors() span would invalidate it. A
+  // link recovered above can fail again this epoch (its fade returns);
+  // both events are emitted and the delta replays correctly.
+  const std::size_t first_failure = events.size();
+  for (NodeId u = 0; u < graph.node_count(); ++u)
+    for (const Edge& e : graph.neighbors(u))
+      if (e.to > u && rng.uniform01() < config_.down_rate)
+        events.push_back({u, e.to, false});
+  for (std::size_t i = first_failure; i < events.size(); ++i) {
+    const LinkEvent& event = events[i];
+    down_.push_back({event.a, event.b, *graph.edge_qos(event.a, event.b)});
+    graph.remove_edge(event.a, event.b);
+  }
+}
+
+}  // namespace qolsr

@@ -7,13 +7,10 @@
 // drift here silently changes published numbers.
 #include <gtest/gtest.h>
 
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/fnbp.hpp"
-#include "eval/figures.hpp"
-#include "eval/result_sink.hpp"
 #include "graph/local_view.hpp"
 #include "metrics/metric.hpp"
 #include "routing/advertised_topology.hpp"
@@ -150,36 +147,9 @@ TEST(ForwardingEquivalence, NonNeighborAnsMemberThrows) {
   EXPECT_THROW(build_advertised_topology(g, too_few), std::logic_error);
 }
 
-// Golden end-to-end check: a trimmed Fig. 8 run (the paper's bandwidth-
-// overhead experiment, the figure most sensitive to forwarding) through
-// the experiment engine and the CSV sink must reproduce this byte-exact
-// document, pinned before the CSR/overlay refactor. Any engine change
-// that alters routed values, delivery counts or aggregation shows up as a
-// diff here.
-TEST(ForwardingEquivalence, Figure8GoldenCsv) {
-  FigureConfig config;
-  config.runs = 2;
-  config.seed = 7;
-  config.threads = 1;
-  ExperimentSpec spec = figure_spec(8, config);
-  spec.scenario.densities = {10, 15, 20};
-
-  const ExperimentResult result = run_experiment(spec);
-  std::ostringstream os;
-  CsvSink().write(result, os);
-  const std::string golden = R"(metric,density,runs,avg_nodes,protocol,set_size_mean,set_size_stddev,delivered,failed,overhead_mean,overhead_stddev,path_hops_mean
-bandwidth,10,2,307.5,qolsr_mpr2_bandwidth,5.379743823,0.1095916786,2,0,0.5,0,2
-bandwidth,10,2,307.5,topology_filtering_bandwidth,4.237577213,0.02222049254,2,0,0,0,6.5
-bandwidth,10,2,307.5,fnbp_bandwidth,1.970357717,0.04646782907,2,0,0,0,6.5
-bandwidth,15,2,486,qolsr_mpr2_bandwidth,8.592636383,0.1865552961,2,0,0.5,0.1414213562,2
-bandwidth,15,2,486,topology_filtering_bandwidth,5.735490802,0.1934144755,2,0,0,0,4.5
-bandwidth,15,2,486,fnbp_bandwidth,2.001487471,0.02612421407,2,0,0,0,4.5
-bandwidth,20,2,659.5,qolsr_mpr2_bandwidth,11.05632912,0.3791162089,2,0,0.4,0.2828427125,2
-bandwidth,20,2,659.5,topology_filtering_bandwidth,7.023540425,0.2234559172,2,0,0,0,5
-bandwidth,20,2,659.5,fnbp_bandwidth,1.838675066,0.06858440069,2,0,0,0,5
-)";
-  EXPECT_EQ(os.str(), golden);
-}
+// The golden Fig. 8 CSV pin that used to live here moved to
+// tests/eval/golden_figures_test.cpp, which gives Figs. 6, 7 and 9 the
+// same treatment against the same byte-exact documents.
 
 }  // namespace
 }  // namespace qolsr

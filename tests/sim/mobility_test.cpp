@@ -1,0 +1,215 @@
+// Mobility model contracts: waypoint motion stays inside the field and
+// under the speed cap, every step leaves the graph's link set exactly the
+// unit-disk set of its positions, surviving links keep their QoS records,
+// churn tears down / restores links with remembered records, and traces
+// are deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/deployment.hpp"
+#include "sim/mobility.hpp"
+#include "util/rng.hpp"
+
+namespace qolsr {
+namespace {
+
+Graph sample_graph(std::uint64_t seed, double side, double degree,
+                   util::Rng& rng) {
+  DeploymentConfig field;
+  field.width = side;
+  field.height = side;
+  field.degree = degree;
+  Graph graph;
+  do {
+    graph = sample_poisson_deployment(field, rng);
+  } while (graph.node_count() < 8);
+  assign_uniform_qos(graph, QosIntervals{}, rng);
+  (void)seed;
+  return graph;
+}
+
+std::map<std::pair<NodeId, NodeId>, LinkQos> link_map(const Graph& g) {
+  std::map<std::pair<NodeId, NodeId>, LinkQos> links;
+  for (NodeId u = 0; u < g.node_count(); ++u)
+    for (const Edge& e : g.neighbors(u))
+      if (e.to > u) links[{u, e.to}] = e.qos;
+  return links;
+}
+
+TEST(UpdateUnitDiskLinks, MatchesFullRebuildAfterArbitraryMoves) {
+  util::Rng rng(11);
+  Graph graph = sample_graph(11, 300.0, 7.0, rng);
+  const double radius = 100.0;
+  for (int round = 0; round < 20; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    // Teleport a third of the nodes anywhere — far larger jumps than any
+    // mobility model produces, so removals cross cell boundaries.
+    for (NodeId u = 0; u < graph.node_count(); ++u)
+      if (rng.uniform01() < 0.33)
+        graph.set_position(u, {rng.uniform(0.0, 300.0),
+                               rng.uniform(0.0, 300.0)});
+    const auto before = link_map(graph);
+    std::vector<LinkEvent> events;
+    update_unit_disk_links(graph, radius, QosIntervals{}, rng, events);
+
+    // The link set must equal a from-scratch unit-disk build.
+    std::vector<Point> positions(graph.node_count());
+    for (NodeId u = 0; u < graph.node_count(); ++u)
+      positions[u] = graph.position(u);
+    const Graph rebuilt = build_unit_disk_graph(positions, radius);
+    ASSERT_EQ(graph.edge_count(), rebuilt.edge_count());
+    for (NodeId u = 0; u < graph.node_count(); ++u) {
+      const auto actual = graph.neighbors(u);
+      const auto expected = rebuilt.neighbors(u);
+      ASSERT_EQ(actual.size(), expected.size()) << "row " << u;
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(actual[i].to, expected[i].to) << "row " << u;
+    }
+
+    // Surviving links keep their QoS; every change is an event.
+    const auto after = link_map(graph);
+    std::size_t ups = 0, downs = 0;
+    for (const LinkEvent& event : events) {
+      EXPECT_LT(event.a, event.b);
+      (event.up ? ups : downs) += 1;
+    }
+    EXPECT_EQ(after.size(), before.size() + ups - downs);
+    for (const auto& [key, qos] : after) {
+      const auto it = before.find(key);
+      if (it != before.end()) EXPECT_EQ(qos, it->second);
+    }
+  }
+}
+
+TEST(RandomWaypoint, StaysInFieldAndUnderTheSpeedCap) {
+  util::Rng rng(23);
+  Graph graph = sample_graph(23, 250.0, 6.0, rng);
+  WaypointConfig config;
+  config.width = 250.0;
+  config.height = 250.0;
+  config.radius = 100.0;
+  config.speed_min = 3.0;
+  config.speed_max = 12.0;
+  config.pause_epochs = 1;
+  config.epoch_duration = 2.0;
+  RandomWaypointModel model(config, graph, rng);
+
+  std::vector<LinkEvent> events;
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    std::vector<Point> before(graph.node_count());
+    for (NodeId u = 0; u < graph.node_count(); ++u)
+      before[u] = graph.position(u);
+    events.clear();
+    model.step(graph, rng, events);
+    const double cap = config.speed_max * config.epoch_duration + 1e-9;
+    for (NodeId u = 0; u < graph.node_count(); ++u) {
+      const Point p = graph.position(u);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, config.width);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, config.height);
+      EXPECT_LE(distance(before[u], p), cap) << "node " << u;
+    }
+  }
+}
+
+TEST(RandomWaypoint, PauseParksNodesForTheConfiguredEpochs) {
+  Graph graph(1);
+  graph.set_position(0, {0.0, 0.0});
+  WaypointConfig config;
+  config.width = 100.0;
+  config.height = 100.0;
+  config.radius = 50.0;
+  config.speed_min = config.speed_max = 1000.0;  // arrives every epoch
+  config.pause_epochs = 3;
+  util::Rng rng(5);
+  RandomWaypointModel model(config, graph, rng);
+
+  std::vector<LinkEvent> events;
+  model.step(graph, rng, events);  // teleports onto the waypoint
+  const Point arrived = graph.position(0);
+  for (std::size_t pause = 0; pause < config.pause_epochs; ++pause) {
+    model.step(graph, rng, events);
+    EXPECT_EQ(graph.position(0), arrived) << "pause epoch " << pause;
+  }
+  model.step(graph, rng, events);  // pause over: moving again
+  EXPECT_NE(graph.position(0), arrived);
+}
+
+TEST(LinkChurn, FullDownRateClearsTheGraph) {
+  util::Rng rng(31);
+  Graph graph = sample_graph(31, 280.0, 7.0, rng);
+  const auto original = link_map(graph);
+  ASSERT_FALSE(original.empty());
+
+  LinkChurnModel model(ChurnConfig{1.0, 0.0});
+  std::vector<LinkEvent> events;
+  model.step(graph, rng, events);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(events.size(), original.size());
+}
+
+TEST(LinkChurn, CertainRecoveryThenCertainFailureFlapsEveryLink) {
+  util::Rng rng(32);
+  Graph graph = sample_graph(32, 280.0, 7.0, rng);
+  const auto original = link_map(graph);
+  LinkChurnModel churn(ChurnConfig{1.0, 1.0});
+  std::vector<LinkEvent> events;
+  churn.step(graph, rng, events);  // everything fails (empty recovery pool)
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(events.size(), original.size());
+  events.clear();
+  churn.step(graph, rng, events);
+  // up_rate 1.0 resurrects every link before down_rate 1.0 kills it again;
+  // the net graph is empty but every link produced an up and a down event.
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(events.size(), 2 * original.size());
+}
+
+TEST(LinkChurn, RecoveredLinksKeepTheirQosRecords) {
+  util::Rng rng(99);
+  Graph graph = sample_graph(99, 280.0, 7.0, rng);
+  const auto original = link_map(graph);
+  LinkChurnModel gentle(ChurnConfig{0.5, 1.0});
+  std::vector<LinkEvent> events;
+  gentle.step(graph, rng, events);  // ~half fail
+  events.clear();
+  gentle.step(graph, rng, events);  // all of those recover (some fail anew)
+  for (const auto& [key, qos] : link_map(graph)) {
+    const auto it = original.find(key);
+    ASSERT_NE(it, original.end()) << "churn invented a link";
+    EXPECT_EQ(qos, it->second) << "recovered link lost its QoS record";
+  }
+}
+
+TEST(Mobility, TracesAreDeterministicUnderAFixedSeed) {
+  auto run_trace = [](std::uint64_t seed) {
+    util::Rng rng(seed);
+    Graph graph = sample_graph(seed, 260.0, 6.0, rng);
+    WaypointConfig config;
+    config.width = 260.0;
+    config.height = 260.0;
+    config.radius = 100.0;
+    config.speed_min = 2.0;
+    config.speed_max = 10.0;
+    RandomWaypointModel model(config, graph, rng);
+    std::vector<LinkEvent> all;
+    std::vector<LinkEvent> events;
+    for (int epoch = 0; epoch < 15; ++epoch) {
+      events.clear();
+      model.step(graph, rng, events);
+      all.insert(all.end(), events.begin(), events.end());
+    }
+    return std::make_pair(link_map(graph), all);
+  };
+  const auto a = run_trace(424242);
+  const auto b = run_trace(424242);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace qolsr

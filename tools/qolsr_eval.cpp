@@ -24,12 +24,16 @@
 namespace {
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: qolsr_eval [--figure=6|7|8|9] [flags]\n"
+  os << "usage: qolsr_eval [--figure=6|7|8|9|M] [flags]\n"
      << "\n"
      << "Runs one declarative experiment (a density sweep of ANS selection\n"
      << "heuristics under a QoS metric) and emits per-density aggregates.\n"
      << "--figure=N starts from the canned spec of the paper's Fig. N;\n"
-     << "every later flag overrides it.\n"
+     << "every later flag overrides it. --figure=M is the repository's\n"
+     << "mobility figure: delivery ratio vs. node speed under random-\n"
+     << "waypoint motion with a 5-epoch TC refresh lag, all five\n"
+     << "selectors (pair with --mobility/--epochs/--speed/--refresh to\n"
+     << "customize).\n"
      << "\n"
      << qolsr::experiment_flags_help()
      << "  --list-metrics        print metric names and exit\n"
@@ -60,12 +64,16 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--figure=", 0) == 0) {
       const std::string value = arg.substr(9);
+      if (value == "M" || value == "m") {
+        base = figure_m_spec(FigureConfig{});
+        continue;
+      }
       int figure = 0;
       const auto [ptr, ec] = std::from_chars(
           value.data(), value.data() + value.size(), figure);
       if (ec != std::errc{} || ptr != value.data() + value.size()) {
         std::cerr << "qolsr_eval: flag --figure: '" << value
-                  << "' is not a number\n";
+                  << "' is not a figure number or M\n";
         return 2;
       }
       try {
