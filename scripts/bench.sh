@@ -114,6 +114,24 @@ for threads in ("1", "0"):
                     "flags": flags, "reps": reps,
                     "best_seconds": min(timings),
                     "mean_seconds": sum(timings) / len(timings)})
+
+# Packet-backend point: the same engine but with a per-run discrete-event
+# control plane (HELLO/TC flooding to measured convergence). Scaled-down
+# field/densities — the full paper field converges thousands of nodes per
+# run — so the trajectory tracks simulator cost, not deployment size.
+packet_flags = ["--backend=packet", "--densities=10,20",
+                f"--runs={min(int(runs), 3)}", "--seed=42", "--threads=1",
+                "--field=500x500", "--format=csv"]
+timings = []
+for _ in range(reps):
+    start = time.perf_counter()
+    subprocess.run([binary, *packet_flags], check=True,
+                   stdout=subprocess.DEVNULL)
+    timings.append(time.perf_counter() - start)
+results.append({"name": f"packet_sweep/runs={min(int(runs), 3)}/threads=1",
+                "flags": packet_flags, "reps": reps,
+                "best_seconds": min(timings),
+                "mean_seconds": sum(timings) / len(timings)})
 try:
     commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                             capture_output=True, text=True).stdout.strip()

@@ -1,0 +1,92 @@
+#include "eval/backend.hpp"
+
+#include "eval/dynamic_runner.hpp"
+#include "eval/packet_runner.hpp"
+
+namespace qolsr {
+
+namespace {
+
+/// The analytic path: exact local views from the sampled graph, oracle
+/// advertised topology, templated allocation-free sweeps — the engine the
+/// paper's figures are reproduced with (and the byte-stability reference
+/// every golden test pins).
+class OracleBackend final : public EvalBackend {
+ public:
+  BackendId id() const override { return BackendId::kOracle; }
+
+  std::vector<DensityStats> run(
+      const ExperimentSpec& spec,
+      const ResolvedProtocols& protocols) const override {
+    return dispatch_metric(spec.metric, [&](auto tag) {
+      using M = typename decltype(tag)::type;
+      return spec.scenario.dynamics.enabled()
+                 ? run_dynamic_sweep<M>(spec.scenario, protocols.ans,
+                                        spec.threads)
+                 : run_sweep<M>(spec.scenario, protocols.ans, spec.threads);
+    });
+  }
+};
+
+/// The distributed path: one discrete-event control plane per (run,
+/// protocol), converged and then measured from protocol state. See
+/// eval/packet_runner.hpp.
+class PacketBackend final : public EvalBackend {
+ public:
+  BackendId id() const override { return BackendId::kPacket; }
+
+  std::vector<DensityStats> run(
+      const ExperimentSpec& spec,
+      const ResolvedProtocols& protocols) const override {
+    if (spec.scenario.dynamics.enabled())
+      throw ExperimentError(
+          "experiment '" + spec.name +
+          "': the packet backend does not run mobility epochs yet "
+          "(ROADMAP open item) - drop --mobility or use --backend=oracle");
+    if (spec.scenario.routing_model == Scenario::RoutingModel::kAnsChain)
+      throw ExperimentError(
+          "experiment '" + spec.name +
+          "': the packet backend's nodes route hop-by-hop on their own "
+          "knowledge (the advertised-union model); --routing=chain is an "
+          "oracle-only discipline");
+    return dispatch_metric(spec.metric, [&](auto tag) {
+      using M = typename decltype(tag)::type;
+      return run_packet_sweep<M>(spec.scenario, protocols, spec.threads);
+    });
+  }
+};
+
+}  // namespace
+
+const EvalBackend& backend_for(BackendId id) {
+  static const OracleBackend oracle;
+  static const PacketBackend packet;
+  return id == BackendId::kPacket ? static_cast<const EvalBackend&>(packet)
+                                  : oracle;
+}
+
+ResolvedProtocols resolve_protocols(const ExperimentSpec& spec,
+                                    const SelectorRegistry& registry) {
+  ResolvedProtocols protocols;
+  protocols.owned.reserve(2 * spec.selectors.size());
+  protocols.ans.reserve(spec.selectors.size());
+  try {
+    for (const std::string& name : spec.selectors) {
+      protocols.owned.push_back(registry.create(name, spec.metric));
+      protocols.ans.push_back(protocols.owned.back().get());
+    }
+    if (spec.backend == BackendId::kPacket) {
+      protocols.flooding.reserve(spec.selectors.size());
+      for (const std::string& name : spec.selectors) {
+        protocols.owned.push_back(
+            registry.create_flooding(name, spec.metric));
+        protocols.flooding.push_back(protocols.owned.back().get());
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    throw ExperimentError("experiment '" + spec.name + "': " + e.what());
+  }
+  return protocols;
+}
+
+}  // namespace qolsr

@@ -3,9 +3,19 @@
 #include <charconv>
 #include <memory>
 
-#include "eval/dynamic_runner.hpp"
+#include "eval/backend.hpp"
 
 namespace qolsr {
+
+std::string_view backend_name(BackendId id) {
+  return id == BackendId::kPacket ? "packet" : "oracle";
+}
+
+std::optional<BackendId> parse_backend_id(std::string_view name) {
+  for (BackendId id : kAllBackendIds)
+    if (name == backend_name(id)) return id;
+  return std::nullopt;
+}
 
 namespace {
 
@@ -93,31 +103,18 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
                             "(drop --per-run or --mobility)");
   }
 
-  std::vector<std::unique_ptr<AnsSelector>> owned;
-  owned.reserve(spec.selectors.size());
-  std::vector<const AnsSelector*> selectors;
-  selectors.reserve(spec.selectors.size());
-  try {
-    for (const std::string& name : spec.selectors) {
-      owned.push_back(registry.create(name, spec.metric));
-      selectors.push_back(owned.back().get());
-    }
-  } catch (const std::invalid_argument& e) {
-    throw ExperimentError("experiment '" + spec.name + "': " + e.what());
-  }
+  // Selectors are resolved from the registry exactly once and shared by
+  // whichever backend executes the sweep (and by its worker threads).
+  const ResolvedProtocols protocols = resolve_protocols(spec, registry);
 
-  Scenario scenario = spec.scenario;
-  scenario.record_runs = scenario.record_runs || spec.per_run;
+  ExperimentSpec executed = spec;
+  executed.scenario.record_runs =
+      executed.scenario.record_runs || executed.per_run;
 
   ExperimentResult result;
   result.spec = spec;
   try {
-    result.sweep = dispatch_metric(spec.metric, [&](auto tag) {
-      using M = typename decltype(tag)::type;
-      return scenario.dynamics.enabled()
-                 ? run_dynamic_sweep<M>(scenario, selectors, spec.threads)
-                 : run_sweep<M>(scenario, selectors, spec.threads);
-    });
+    result.sweep = backend_for(spec.backend).run(executed, protocols);
   } catch (const ExperimentError&) {
     throw;
   } catch (const std::exception& e) {
@@ -146,6 +143,16 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
 
     if (flag == "--name") {
       spec.name = value;
+    } else if (flag == "--backend") {
+      const auto id = parse_backend_id(value);
+      if (!id) {
+        std::string known;
+        for (BackendId b : kAllBackendIds)
+          known += (known.empty() ? "" : " ") + std::string(backend_name(b));
+        throw ExperimentError("flag --backend: unknown backend '" +
+                              std::string(value) + "' (known: " + known + ")");
+      }
+      spec.backend = *id;
     } else if (flag == "--metric") {
       const auto id = parse_metric_id(value);
       if (!id) {
@@ -279,6 +286,12 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
 std::string experiment_flags_help() {
   return
       "  --name=S              experiment name (labels the output)\n"
+      "  --backend=B           oracle|packet: analytic oracle sweeps (the\n"
+      "                        default; Figs. 6-9 reference) vs. per-run\n"
+      "                        discrete-event HELLO/TC simulation measured\n"
+      "                        from converged protocol state, with\n"
+      "                        control-plane cost (messages, bytes,\n"
+      "                        duplicate drops, convergence time)\n"
       "  --metric=NAME         bandwidth|delay|jitter|loss|energy|buffers\n"
       "  --selectors=A,B,...   protocols, column order (see --list-selectors)\n"
       "  --densities=D1,D2,... mean-degree sweep points\n"

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "eval/runner.hpp"
@@ -10,6 +12,30 @@
 #include "olsr/selector_registry.hpp"
 
 namespace qolsr {
+
+/// Which engine executes a sweep (see eval/backend.hpp for the seam):
+///  * kOracle — the analytic path: per run, every node's ANS is selected
+///    on its exact local view computed from the sampled graph, routing
+///    runs on the oracle advertised topology. Fast, and the reference the
+///    paper's Figs. 6–9 are reproduced with.
+///  * kPacket — the distributed path: per run and protocol, a
+///    discrete-event Simulator floods real HELLO/TC packets until the
+///    control plane converges, then set sizes, delivery and QoS overhead
+///    are measured from each node's *converged protocol state* (neighbor
+///    tables, ANS, topology base) and a data packet routed hop-by-hop on
+///    per-node knowledge — plus the control-plane cost block (message and
+///    byte counts, duplicate suppression, measured convergence time) the
+///    oracle cannot produce.
+enum class BackendId { kOracle, kPacket };
+
+inline constexpr BackendId kAllBackendIds[] = {BackendId::kOracle,
+                                               BackendId::kPacket};
+
+/// Canonical CLI/JSON name ("oracle", "packet").
+std::string_view backend_name(BackendId id);
+
+/// Inverse of backend_name; nullopt for unknown names.
+std::optional<BackendId> parse_backend_id(std::string_view name);
 
 /// Any failure of the experiment engine — unknown metric or selector name,
 /// malformed CLI flag, degenerate deployment — surfaces as this one type
@@ -26,6 +52,9 @@ class ExperimentError : public std::runtime_error {
 /// same templated, allocation-free run_sweep<M> hot path.
 struct ExperimentSpec {
   std::string name = "sweep";
+  /// Execution engine (--backend=oracle|packet). The oracle default keeps
+  /// every pre-existing spec byte-identical.
+  BackendId backend = BackendId::kOracle;
   MetricId metric = MetricId::kBandwidth;
   /// SelectorRegistry names, in column order. Defaults to the paper's
   /// three contenders (Figs. 6–9 legend order).
@@ -50,10 +79,13 @@ struct ExperimentResult {
   std::vector<DensityStats> sweep;
 };
 
-/// Type-erased execution: resolves the metric via dispatch_metric,
-/// instantiates the named selectors from `registry`, and runs the
-/// templated sweep. Throws ExperimentError on unknown names, an empty
-/// density list, or a degenerate deployment (sample_run resample cap).
+/// Type-erased execution: resolves the named selectors (and, for the
+/// packet backend, their flooding roles) from `registry` exactly once,
+/// resolves the metric via dispatch_metric, and hands the spec to the
+/// backend it names (eval/backend.hpp) — the oracle's templated sweep or
+/// the packet-level simulation. Throws ExperimentError on unknown names,
+/// an empty density list, backend-incompatible scenarios, or a degenerate
+/// deployment (sample_run resample cap).
 ExperimentResult run_experiment(
     const ExperimentSpec& spec,
     const SelectorRegistry& registry = SelectorRegistry::builtin());
@@ -64,6 +96,7 @@ ExperimentResult run_experiment(
 /// on unknown flags or unparsable values. Flags:
 ///
 ///   --name=S              experiment name (labels the output)
+///   --backend=B           oracle|packet execution engine (see BackendId)
 ///   --metric=NAME         bandwidth|delay|jitter|loss|energy|buffers
 ///   --selectors=A,B,...   SelectorRegistry names, column order
 ///   --densities=D1,D2,... mean-degree sweep points

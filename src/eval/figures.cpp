@@ -146,6 +146,31 @@ util::Table dynamics_table(const std::vector<DensityStats>& sweep,
   return table;
 }
 
+util::Table control_plane_table(const std::vector<DensityStats>& sweep,
+                                const std::string& axis) {
+  std::vector<std::string> header{axis};
+  if (!sweep.empty()) {
+    for (const ProtocolStats& p : sweep.front().protocols) {
+      header.push_back(p.name + "_tcs");
+      header.push_back(p.name + "_bytes");
+      header.push_back(p.name + "_conv_s");
+    }
+  }
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<std::string> cells{util::format_double(d.density, 0)};
+    for (const ProtocolStats& p : d.protocols) {
+      cells.push_back(util::format_double(
+          p.control.tc_msgs.mean() + p.control.tc_forwards.mean(), 1));
+      cells.push_back(util::format_double(p.control.control_bytes.mean(), 0));
+      cells.push_back(
+          util::format_double(p.control.convergence_time.mean(), 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
 util::Table figure6_ans_size_bandwidth(const FigureConfig& config) {
   return set_size_table(bandwidth_sweep(config));
 }

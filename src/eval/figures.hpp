@@ -71,5 +71,11 @@ util::Table diagnostics_table(const std::vector<DensityStats>& sweep,
 /// sweeps run with a mobility model.
 util::Table dynamics_table(const std::vector<DensityStats>& sweep,
                            const std::string& axis = "speed");
+/// The packet-backend control-plane series: mean TC messages (originated +
+/// MPR forwards), broadcast control bytes, and measured convergence time
+/// per run. Meaningful only for sweeps run with --backend=packet (the
+/// oracle leaves ControlPlaneStats empty).
+util::Table control_plane_table(const std::vector<DensityStats>& sweep,
+                                const std::string& axis = "density");
 
 }  // namespace qolsr

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/backend.hpp"
+#include "eval/runner.hpp"
+#include "path/path.hpp"
+#include "routing/forwarding.hpp"
+#include "sim/simulator.hpp"
+
+namespace qolsr {
+
+/// Per-worker scratch of the packet-level backend: the shared eval bundle
+/// (deployment sampling + pair drawing reuse sample_run unchanged) plus
+/// one Simulator reused across every (run, protocol) via its seed-driven
+/// reset — node objects, queue and trace survive instead of being
+/// reallocated for each of the sweep's runs.
+struct PacketEvalWorkspace {
+  EvalWorkspace eval;
+  Simulator sim;
+};
+
+namespace eval_detail {
+
+/// One packet-level run: sample the same deployment and (source,
+/// destination) pair the oracle backend would (identical RNG stream), then
+/// per protocol bring up a full distributed control plane — HELLO link
+/// sensing, the protocol's flooding + ANS heuristics, TC flooding with
+/// duplicate suppression — run it to *measured* convergence, and take
+/// every figure from the converged protocol state: set sizes from the
+/// nodes' own ANS tables, delivery/overhead from a data packet routed
+/// hop-by-hop on per-node knowledge (TC topology base + own links), and
+/// the ControlPlaneStats block from the simulator trace.
+template <Metric M>
+void execute_packet_run(const Scenario& scenario, double density,
+                        std::size_t run_index, std::uint64_t run_seed,
+                        const ResolvedProtocols& protocols,
+                        DensityStats& stats, PacketEvalWorkspace& ws) {
+  util::Rng rng(run_seed);
+  SampledRun run = sample_run<M>(scenario, density, rng, ws.eval);
+  const std::size_t n = run.graph.node_count();
+  stats.node_count.add(static_cast<double>(n));
+  RunRecord record;
+  if (scenario.record_runs) {
+    record.run_index = run_index;
+    record.nodes = n;
+    record.protocols.resize(protocols.ans.size());
+  }
+
+  for (std::size_t si = 0; si < protocols.ans.size(); ++si) {
+    const AnsSelector& ans = *protocols.ans[si];
+    const AnsSelector& flooding = *protocols.flooding[si];
+    // Same discipline split as the oracle's ForwardingOptions: OLSR/QOLSR
+    // route hop-count-first (QoS as tie-break), the QANS designs QoS-first.
+    OlsrNode::RouteFn route =
+        ans.qos_first_routing()
+            ? OlsrNode::RouteFn([](const Graph& g, NodeId self, NodeId dest) {
+                return compute_next_hop<M>(g, self, dest);
+              })
+            : OlsrNode::RouteFn([](const Graph& g, NodeId self, NodeId dest) {
+                return compute_min_hop_next_hop<M>(g, self, dest);
+              });
+    // One seed for every protocol of the run: all contenders experience
+    // identical tick jitter, so differences are chargeable to the
+    // heuristics alone. The last protocol steals the sampled graph
+    // instead of copying it (everything below reads sim.network()).
+    Graph ground_truth = si + 1 == protocols.ans.size()
+                             ? std::move(run.graph)
+                             : run.graph;
+    ws.sim.reset(std::move(ground_truth), flooding, ans, std::move(route),
+                 run_seed);
+    const ConvergenceReport report = ws.sim.run_to_convergence();
+
+    ProtocolStats& ps = stats.protocols[si];
+    double total_ans = 0.0;
+    for (NodeId u = 0; u < n; ++u)
+      total_ans += static_cast<double>(ws.sim.node(u).ans().size());
+    const double set_size = n > 0 ? total_ans / static_cast<double>(n) : 0.0;
+    ps.set_size.add(set_size);
+
+    // Counters as of converged_at, not of whenever the quiescence dwell
+    // stopped the clock: every protocol's control-plane cost covers the
+    // same window — reaching its converged state — so a slow converger is
+    // charged more *time*, not padded with post-convergence keepalives.
+    const TraceStats& converged = ws.sim.trace_at_convergence();
+    ps.control.hello_msgs.add(static_cast<double>(converged.hello_sent));
+    ps.control.tc_msgs.add(static_cast<double>(converged.tc_originated));
+    ps.control.tc_forwards.add(static_cast<double>(converged.tc_forwarded));
+    ps.control.duplicate_drops.add(
+        static_cast<double>(converged.tc_dropped_duplicate));
+    ps.control.control_bytes.add(
+        static_cast<double>(converged.control_bytes));
+    ps.control.convergence_time.add(report.converged_at);
+    // A run stopped by the hard cap mid-change is measured from
+    // not-yet-quiescent state; count it so the sweep point is flagged
+    // instead of silently averaged in.
+    if (!report.converged) ++ps.control.unconverged;
+
+    // One data packet between the shared pair, forwarded by the nodes
+    // themselves on whatever their converged knowledge routes. The slack
+    // covers the TTL-capped worst case (data_ttl hops of propagation
+    // delay) with generous margin.
+    constexpr std::uint32_t kPayloadId = 1;
+    const TraceStats& trace = ws.sim.trace();
+    ws.sim.node(run.source).send_data(run.destination, kPayloadId);
+    ws.sim.run_until(ws.sim.now() + 1.0);
+    const auto journey = trace.journeys.find(kPayloadId);
+    const bool delivered =
+        journey != trace.journeys.end() && journey->second.delivered;
+    double value = 0.0;
+    double overhead = 0.0;
+    if (delivered) {
+      value = evaluate_path<M>(ws.sim.network(), journey->second.path);
+      overhead = qos_overhead<M>(value, run.optimal_value);
+      ++ps.delivered;
+      ps.overhead.add(overhead);
+      ps.path_hops.add(
+          static_cast<double>(journey->second.path.size() - 1));
+    } else {
+      ++ps.failed;
+    }
+    if (scenario.record_runs) {
+      RunRecord::Protocol& rp = record.protocols[si];
+      rp.set_size = set_size;
+      rp.delivered = delivered;
+      if (delivered) {
+        rp.value = value;
+        rp.overhead = overhead;
+        rp.hops = journey->second.path.size() - 1;
+      }
+    }
+  }
+  if (scenario.record_runs) stats.run_records.push_back(std::move(record));
+}
+
+}  // namespace eval_detail
+
+/// The packet-level counterpart of run_sweep: the same threaded harness
+/// and determinism contract (run r at sweep-point d derives its RNG stream
+/// and simulator seed from the scenario seed alone, so aggregates are
+/// thread-count invariant), but each run converges one Simulator per
+/// protocol and measures from distributed state.
+template <Metric M>
+std::vector<DensityStats> run_packet_sweep(const Scenario& scenario,
+                                           const ResolvedProtocols& protocols,
+                                           unsigned threads = 0) {
+  return eval_detail::sweep_harness<PacketEvalWorkspace>(
+      scenario, protocols.ans, threads,
+      [&protocols](const Scenario& sc, double density, std::size_t run_index,
+                   std::uint64_t run_seed,
+                   const std::vector<const AnsSelector*>& /*selectors*/,
+                   DensityStats& stats, PacketEvalWorkspace& ws) {
+        eval_detail::execute_packet_run<M>(sc, density, run_index, run_seed,
+                                           protocols, stats, ws);
+      });
+}
+
+}  // namespace qolsr

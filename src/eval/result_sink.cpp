@@ -77,58 +77,28 @@ void write_dynamic_csv(const ExperimentResult& result, std::ostream& os) {
   }
 }
 
-}  // namespace
+/// The 12 aggregate columns shared by both static CSV layouts (oracle and
+/// packet) — one writer, so the "figure tooling reads either" contract
+/// cannot drift between the two.
+constexpr const char* kStaticCsvColumns =
+    "metric,density,runs,avg_nodes,protocol,set_size_mean,"
+    "set_size_stddev,delivered,failed,overhead_mean,overhead_stddev,"
+    "path_hops_mean";
 
-void PrettyTableSink::write(const ExperimentResult& result,
-                            std::ostream& os) const {
-  const ExperimentSpec& spec = result.spec;
-  const bool dynamic = spec.scenario.dynamics.enabled();
-  const std::string axis = sweep_axis_name(spec.scenario.sweep_axis);
-  os << "# " << spec.name << " — metric=" << metric_name(spec.metric)
-     << " runs/density=" << spec.scenario.runs << " seed=" << spec.scenario.seed
-     << "\n";
-  if (dynamic) {
-    const DynamicsSpec& dyn = spec.scenario.dynamics;
-    os << "# mobility="
-       << (dyn.model == DynamicsSpec::Model::kWaypoint ? "waypoint" : "churn")
-       << " epochs/run=" << dyn.epochs << " refresh=" << dyn.refresh_interval
-       << "\n";
-  }
-  os << "\n## advertised set size (mean |ANS| per node)\n"
-     << set_size_table(result.sweep, axis).to_string();
-  if (dynamic)
-    os << "\n## delivery ratio / hop stretch / TC re-advertisements\n"
-       << dynamics_table(result.sweep, axis).to_string();
-  os << "\n## QoS overhead vs. centralized optimum\n"
-     << overhead_table(result.sweep, axis).to_string();
-  os << "\n## diagnostics\n"
-     << diagnostics_table(result.sweep, axis).to_string();
-  std::size_t records = 0;
-  for (const DensityStats& d : result.sweep) records += d.run_records.size();
-  if (records > 0)
-    os << "\n(" << records
-       << " per-run records recorded; use --format=csv or json to export "
-          "them)\n";
+void write_static_csv_row_prefix(const ExperimentResult& result,
+                                 const DensityStats& d,
+                                 const ProtocolStats& p, std::ostream& os) {
+  os << metric_name(result.spec.metric) << ',' << fmt(d.density) << ','
+     << d.runs << ',' << fmt(d.node_count.mean()) << ',' << p.name << ','
+     << fmt(p.set_size.mean()) << ',' << fmt(p.set_size.stddev()) << ','
+     << p.delivered << ',' << p.failed << ',' << fmt(p.overhead.mean()) << ','
+     << fmt(p.overhead.stddev()) << ',' << fmt(p.path_hops.mean());
 }
 
-void CsvSink::write(const ExperimentResult& result, std::ostream& os) const {
-  if (result.spec.scenario.dynamics.enabled())
-    return write_dynamic_csv(result, os);
-  os << "metric,density,runs,avg_nodes,protocol,set_size_mean,"
-        "set_size_stddev,delivered,failed,overhead_mean,overhead_stddev,"
-        "path_hops_mean\n";
-  const std::string metric{metric_name(result.spec.metric)};
-  for (const DensityStats& d : result.sweep) {
-    for (const ProtocolStats& p : d.protocols) {
-      os << metric << ',' << fmt(d.density) << ',' << d.runs << ','
-         << fmt(d.node_count.mean()) << ',' << p.name << ','
-         << fmt(p.set_size.mean()) << ',' << fmt(p.set_size.stddev()) << ','
-         << p.delivered << ',' << p.failed << ',' << fmt(p.overhead.mean())
-         << ',' << fmt(p.overhead.stddev()) << ',' << fmt(p.path_hops.mean())
-         << '\n';
-    }
-  }
-
+/// The optional per-run-records block shared by both static CSV layouts:
+/// a second header+rows table after a blank line, present only when the
+/// result recorded runs.
+void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
   bool has_records = false;
   for (const DensityStats& d : result.sweep)
     has_records = has_records || !d.run_records.empty();
@@ -154,10 +124,112 @@ void CsvSink::write(const ExperimentResult& result, std::ostream& os) const {
   }
 }
 
+/// Long-format CSV of a packet-backend result: the oracle columns (same
+/// order, so figure tooling reads either) followed by the control-plane
+/// block the oracle cannot measure — per-run mean message/byte counts,
+/// duplicate-set hits, and the measured convergence time.
+void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
+  os << kStaticCsvColumns
+     << ",hello_msgs_mean,tc_msgs_mean,tc_forwards_mean,"
+        "duplicate_drops_mean,control_bytes_mean,convergence_time_mean,"
+        "convergence_time_stddev,unconverged_runs\n";
+  for (const DensityStats& d : result.sweep) {
+    for (const ProtocolStats& p : d.protocols) {
+      write_static_csv_row_prefix(result, d, p, os);
+      os << ',' << fmt(p.control.hello_msgs.mean()) << ','
+         << fmt(p.control.tc_msgs.mean()) << ','
+         << fmt(p.control.tc_forwards.mean()) << ','
+         << fmt(p.control.duplicate_drops.mean()) << ','
+         << fmt(p.control.control_bytes.mean()) << ','
+         << fmt(p.control.convergence_time.mean()) << ','
+         << fmt(p.control.convergence_time.stddev()) << ','
+         << p.control.unconverged << '\n';
+    }
+  }
+  write_run_records_csv(result, os);
+}
+
+}  // namespace
+
+void PrettyTableSink::write(const ExperimentResult& result,
+                            std::ostream& os) const {
+  const ExperimentSpec& spec = result.spec;
+  const bool dynamic = spec.scenario.dynamics.enabled();
+  const std::string axis = sweep_axis_name(spec.scenario.sweep_axis);
+  os << "# " << spec.name << " — metric=" << metric_name(spec.metric)
+     << " runs/density=" << spec.scenario.runs << " seed=" << spec.scenario.seed
+     << "\n";
+  if (spec.backend == BackendId::kPacket)
+    os << "# backend=packet — discrete-event HELLO/TC simulation, measured "
+          "from converged protocol state\n";
+  if (dynamic) {
+    const DynamicsSpec& dyn = spec.scenario.dynamics;
+    os << "# mobility="
+       << (dyn.model == DynamicsSpec::Model::kWaypoint ? "waypoint" : "churn")
+       << " epochs/run=" << dyn.epochs << " refresh=" << dyn.refresh_interval
+       << "\n";
+  }
+  os << "\n## advertised set size (mean |ANS| per node)\n"
+     << set_size_table(result.sweep, axis).to_string();
+  if (dynamic)
+    os << "\n## delivery ratio / hop stretch / TC re-advertisements\n"
+       << dynamics_table(result.sweep, axis).to_string();
+  os << "\n## QoS overhead vs. centralized optimum\n"
+     << overhead_table(result.sweep, axis).to_string();
+  os << "\n## diagnostics\n"
+     << diagnostics_table(result.sweep, axis).to_string();
+  bool has_control = false;
+  for (const DensityStats& d : result.sweep)
+    for (const ProtocolStats& p : d.protocols)
+      has_control = has_control || p.control.measured();
+  if (has_control) {
+    os << "\n## control plane (mean per run: TC messages incl. forwards, "
+          "broadcast bytes, measured convergence seconds)\n"
+       << control_plane_table(result.sweep, axis).to_string();
+    std::size_t unconverged = 0;
+    for (const DensityStats& d : result.sweep)
+      for (const ProtocolStats& p : d.protocols)
+        unconverged += p.control.unconverged;
+    if (unconverged > 0)
+      os << "\nWARNING: " << unconverged
+         << " simulation run(s) hit the hard time cap before the control "
+            "plane quiesced; their measurements are from unconverged state "
+            "(see the unconverged_runs column in csv/json).\n";
+  }
+  std::size_t records = 0;
+  for (const DensityStats& d : result.sweep) records += d.run_records.size();
+  if (records > 0)
+    os << "\n(" << records
+       << " per-run records recorded; use --format=csv or json to export "
+          "them)\n";
+}
+
+void CsvSink::write(const ExperimentResult& result, std::ostream& os) const {
+  if (result.spec.scenario.dynamics.enabled())
+    return write_dynamic_csv(result, os);
+  // The packet backend carries the extra control-plane columns; the oracle
+  // layout is pinned byte-exact by the golden-figure tests and must not
+  // move.
+  if (result.spec.backend == BackendId::kPacket)
+    return write_packet_csv(result, os);
+  os << kStaticCsvColumns << '\n';
+  for (const DensityStats& d : result.sweep) {
+    for (const ProtocolStats& p : d.protocols) {
+      write_static_csv_row_prefix(result, d, p, os);
+      os << '\n';
+    }
+  }
+  write_run_records_csv(result, os);
+}
+
 void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
   const ExperimentSpec& spec = result.spec;
   os << "{\n";
   os << "  \"name\": \"" << json_escape(spec.name) << "\",\n";
+  // Only the non-default backend is echoed: pre-existing oracle documents
+  // stay byte-identical.
+  if (spec.backend != BackendId::kOracle)
+    os << "  \"backend\": \"" << backend_name(spec.backend) << "\",\n";
   os << "  \"metric\": \"" << metric_name(spec.metric) << "\",\n";
   os << "  \"metric_kind\": \""
      << (metric_kind(spec.metric) == MetricKind::kConcave ? "concave"
@@ -207,6 +279,21 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
            << ", \"stale_losses\": " << p.stale_losses
            << ",\n         \"stretch\": " << json_stats(p.stretch)
            << ",\n         \"readvertised\": " << json_stats(p.readvertised);
+      }
+      if (p.control.measured()) {
+        os << ",\n         \"control_plane\": {"
+           << "\n           \"hello_msgs\": " << json_stats(p.control.hello_msgs)
+           << ",\n           \"tc_msgs\": " << json_stats(p.control.tc_msgs)
+           << ",\n           \"tc_forwards\": "
+           << json_stats(p.control.tc_forwards)
+           << ",\n           \"duplicate_drops\": "
+           << json_stats(p.control.duplicate_drops)
+           << ",\n           \"control_bytes\": "
+           << json_stats(p.control.control_bytes)
+           << ",\n           \"convergence_time\": "
+           << json_stats(p.control.convergence_time)
+           << ",\n           \"unconverged_runs\": " << p.control.unconverged
+           << "}";
       }
       os << "}";
     }

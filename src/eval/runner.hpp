@@ -23,6 +23,41 @@
 
 namespace qolsr {
 
+/// Control-plane cost of running one protocol on one sampled topology,
+/// measured by the packet-level backend (eval/packet_runner.hpp) from the
+/// discrete-event simulator's trace — the quantities the paper reasons
+/// about (smaller ANS ⇒ smaller/fewer TCs) but the oracle path cannot
+/// produce. One sample per run, network-wide totals; empty (count 0) under
+/// the oracle backend.
+struct ControlPlaneStats {
+  util::RunningStats hello_msgs;       ///< HELLOs sent per run
+  util::RunningStats tc_msgs;          ///< TCs originated per run
+  util::RunningStats tc_forwards;      ///< MPR retransmissions per run
+  util::RunningStats duplicate_drops;  ///< duplicate-set hits per run
+  util::RunningStats control_bytes;    ///< broadcast control bytes per run
+  /// Measured convergence time (seconds of simulated time until the
+  /// network-wide protocol state last changed — see
+  /// Simulator::run_to_convergence), not an assumed horizon.
+  util::RunningStats convergence_time;
+  /// Runs that hit the simulator's hard time cap while the state was
+  /// still changing: their convergence_time sample is only a lower bound
+  /// and the measurements were taken from not-yet-quiescent state. Any
+  /// nonzero value flags the sweep point as suspect (all sinks emit it).
+  std::size_t unconverged = 0;
+
+  bool measured() const { return convergence_time.count() > 0; }
+
+  void merge(const ControlPlaneStats& other) {
+    hello_msgs.merge(other.hello_msgs);
+    tc_msgs.merge(other.tc_msgs);
+    tc_forwards.merge(other.tc_forwards);
+    duplicate_drops.merge(other.duplicate_drops);
+    control_bytes.merge(other.control_bytes);
+    convergence_time.merge(other.convergence_time);
+    unconverged += other.unconverged;
+  }
+};
+
 /// Aggregated measurements of one protocol at one sweep point. Static
 /// sweeps sample once per run; the dynamics epoch loop samples once per
 /// measured epoch (set_size, overhead, path_hops, delivered/failed) and
@@ -47,6 +82,10 @@ struct ProtocolStats {
   /// Per TC refresh: nodes whose advertised set changed since the last
   /// refresh (TC messages the refresh floods).
   util::RunningStats readvertised;
+  // ---- packet-backend only (empty under the oracle backend) -------------
+  /// Measured control-plane cost (messages, bytes, duplicate suppression,
+  /// convergence time) of disseminating this protocol's advertised state.
+  ControlPlaneStats control;
 
   /// Delivered fraction of attempted packets (0 when none were attempted)
   /// — the headline dynamics series, shared by every result emitter.
@@ -277,6 +316,7 @@ inline void merge_into(DensityStats& into, DensityStats& from) {
     a.stale_losses += b.stale_losses;
     a.stretch.merge(b.stretch);
     a.readvertised.merge(b.readvertised);
+    a.control.merge(b.control);
   }
 }
 

@@ -6,63 +6,92 @@
 
 namespace qolsr {
 
-void SelectorRegistry::add(std::string name, Factory factory) {
+void SelectorRegistry::add(std::string name, Factory factory,
+                           Factory flooding_factory) {
   if (contains(name))
     throw std::invalid_argument("SelectorRegistry: duplicate selector name '" +
                                 name + "'");
-  entries_.emplace_back(std::move(name), std::move(factory));
+  entries_.push_back(
+      {std::move(name), std::move(factory), std::move(flooding_factory)});
 }
 
 bool SelectorRegistry::contains(std::string_view name) const {
-  for (const auto& [key, factory] : entries_)
-    if (key == name) return true;
-  return false;
+  return find(name) != nullptr;
+}
+
+const SelectorRegistry::Entry* SelectorRegistry::find(
+    std::string_view name) const {
+  for (const Entry& entry : entries_)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+void SelectorRegistry::throw_unknown(std::string_view name) const {
+  std::string message = "unknown selector '" + std::string(name) + "' (known:";
+  for (const Entry& entry : entries_) message += " " + entry.name;
+  message += ")";
+  throw std::invalid_argument(message);
 }
 
 std::unique_ptr<AnsSelector> SelectorRegistry::create(std::string_view name,
                                                       MetricId metric) const {
-  for (const auto& [key, factory] : entries_)
-    if (key == name) return factory(metric);
-  std::string message = "unknown selector '" + std::string(name) + "' (known:";
-  for (const auto& [key, factory] : entries_) message += " " + key;
-  message += ")";
-  throw std::invalid_argument(message);
+  const Entry* entry = find(name);
+  if (entry == nullptr) throw_unknown(name);
+  return entry->factory(metric);
+}
+
+std::unique_ptr<AnsSelector> SelectorRegistry::create_flooding(
+    std::string_view name, MetricId metric) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) throw_unknown(name);
+  if (entry->flooding_factory) return entry->flooding_factory(metric);
+  // Split designs advertise a filtered set but flood with plain RFC MPRs.
+  return std::make_unique<Rfc3626Selector>();
 }
 
 std::vector<std::string> SelectorRegistry::names() const {
   std::vector<std::string> result;
   result.reserve(entries_.size());
-  for (const auto& [key, factory] : entries_) result.push_back(key);
+  for (const Entry& entry : entries_) result.push_back(entry.name);
   return result;
 }
 
 const SelectorRegistry& SelectorRegistry::builtin() {
   static const SelectorRegistry registry = [] {
     SelectorRegistry r;
-    r.add("olsr_mpr", [](MetricId) -> std::unique_ptr<AnsSelector> {
+    const auto rfc3626 = [](MetricId) -> std::unique_ptr<AnsSelector> {
       // RFC 3626 MPR coverage is metric-blind; one type serves all metrics.
       return std::make_unique<Rfc3626Selector>();
-    });
-    r.add("qolsr_mpr1", [](MetricId metric) {
-      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+    };
+    const auto qolsr1 = [](MetricId metric) {
+      return dispatch_metric(metric,
+                             [](auto tag) -> std::unique_ptr<AnsSelector> {
         using M = typename decltype(tag)::type;
         return std::make_unique<QolsrSelector<M>>(QolsrVariant::kMpr1);
       });
-    });
-    r.add("qolsr_mpr2", [](MetricId metric) {
-      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+    };
+    const auto qolsr2 = [](MetricId metric) {
+      return dispatch_metric(metric,
+                             [](auto tag) -> std::unique_ptr<AnsSelector> {
         using M = typename decltype(tag)::type;
         return std::make_unique<QolsrSelector<M>>(QolsrVariant::kMpr2);
       });
-    });
+    };
+    // OLSR and QOLSR flood on the very set they advertise; the split QANS
+    // designs (default flooding factory) keep RFC MPR flooding.
+    r.add("olsr_mpr", rfc3626, rfc3626);
+    r.add("qolsr_mpr1", qolsr1, qolsr1);
+    r.add("qolsr_mpr2", qolsr2, qolsr2);
     r.add("topology_filtering", [](MetricId metric) {
-      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+      return dispatch_metric(metric,
+                             [](auto tag) -> std::unique_ptr<AnsSelector> {
         using M = typename decltype(tag)::type;
         return std::make_unique<TopologyFilteringSelector<M>>();
       });
     });
     r.add("fnbp", [](MetricId metric) {
-      return dispatch_metric(metric, [](auto tag) -> std::unique_ptr<AnsSelector> {
+      return dispatch_metric(metric,
+                             [](auto tag) -> std::unique_ptr<AnsSelector> {
         using M = typename decltype(tag)::type;
         return std::make_unique<FnbpSelector<M>>();
       });

@@ -23,7 +23,13 @@ class SelectorRegistry {
 
   /// Registers a factory under `name`. Throws std::invalid_argument on a
   /// duplicate name (silent replacement would reorder result columns).
-  void add(std::string name, Factory factory);
+  /// `flooding_factory` names the TC-flooding role the protocol pairs with
+  /// its advertised-set heuristic in the packet-level backend: protocols
+  /// that flood on their own selection (original OLSR, QOLSR) pass their
+  /// own factory; the split QANS designs leave it empty and get RFC 3626
+  /// MPR flooding (paper §II–III: topology filtering and FNBP only change
+  /// *what is advertised*, not how TCs spread).
+  void add(std::string name, Factory factory, Factory flooding_factory = {});
 
   bool contains(std::string_view name) const;
 
@@ -31,6 +37,11 @@ class SelectorRegistry {
   /// std::invalid_argument listing the known names when `name` is unknown.
   std::unique_ptr<AnsSelector> create(std::string_view name,
                                       MetricId metric) const;
+
+  /// Instantiates the TC-flooding-role selector paired with the named
+  /// protocol (see `add`). Same error contract as `create`.
+  std::unique_ptr<AnsSelector> create_flooding(std::string_view name,
+                                               MetricId metric) const;
 
   /// Registered names, in registration order.
   std::vector<std::string> names() const;
@@ -40,7 +51,15 @@ class SelectorRegistry {
   static const SelectorRegistry& builtin();
 
  private:
-  std::vector<std::pair<std::string, Factory>> entries_;
+  struct Entry {
+    std::string name;
+    Factory factory;
+    Factory flooding_factory;  ///< empty = RFC 3626 MPR flooding
+  };
+  const Entry* find(std::string_view name) const;
+  [[noreturn]] void throw_unknown(std::string_view name) const;
+
+  std::vector<Entry> entries_;
 };
 
 }  // namespace qolsr

@@ -21,6 +21,9 @@ class DuplicateSet {
   /// Drops expired entries. Called opportunistically.
   void expire(double now);
 
+  /// Forgets everything — the per-run reset of a reused protocol stack.
+  void clear() { entries_.clear(); }
+
   std::size_t size() const { return entries_.size(); }
 
  private:

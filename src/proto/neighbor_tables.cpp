@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/digest.hpp"
+
 namespace qolsr {
 
 void NeighborTables::on_hello(const HelloMessage& hello, const LinkQos& qos,
@@ -35,6 +37,15 @@ void NeighborTables::expire(double now) {
       ++it;
     }
   }
+}
+
+std::uint64_t NeighborTables::digest(std::uint64_t h) const {
+  for (const auto& [id, entry] : links_) {  // ordered map: stable fold order
+    h = util::digest_mix(h, id);
+    h = util::digest_mix(h, (entry.sym_until >= 0.0 ? 2u : 0u) |
+                                (entry.selected_us_mpr ? 1u : 0u));
+  }
+  return h;
 }
 
 std::vector<NodeId> NeighborTables::symmetric_neighbors() const {

@@ -28,6 +28,15 @@ class NeighborTables {
   /// Drops expired links / neighbor tables / selector entries.
   void expire(double now);
 
+  /// Forgets every neighbor — the per-run reset of a reused protocol stack.
+  void clear() { links_.clear(); }
+
+  /// Folds the link-state that selection depends on — symmetric neighbor
+  /// ids and who selected us as MPR — into a running state digest. Hold
+  /// timers are excluded so periodic HELLO refreshes don't read as change
+  /// (see Simulator::run_to_convergence).
+  std::uint64_t digest(std::uint64_t h) const;
+
   /// Symmetric neighbors, ascending id.
   std::vector<NodeId> symmetric_neighbors() const;
 

@@ -1,5 +1,7 @@
 #include "proto/topology_base.hpp"
 
+#include "util/digest.hpp"
+
 namespace qolsr {
 
 bool TopologyBase::on_tc(const TcMessage& tc, double now) {
@@ -36,6 +38,15 @@ Graph TopologyBase::to_graph(std::size_t node_count) const {
     }
   }
   return graph;
+}
+
+std::uint64_t TopologyBase::digest(std::uint64_t h) const {
+  for (const auto& [originator, entry] : entries_) {  // ordered map: stable
+    h = util::digest_mix(h, originator);
+    for (const LinkAdvert& a : entry.advertised)
+      h = util::digest_mix(h, a.neighbor);
+  }
+  return h;
 }
 
 std::vector<NodeId> TopologyBase::advertised_of(NodeId originator) const {

@@ -23,6 +23,9 @@ class TopologyBase {
 
   void expire(double now);
 
+  /// Drops every entry — the per-run reset of a reused protocol stack.
+  void clear() { entries_.clear(); }
+
   /// All live advertised links, as an undirected QoS graph over
   /// `node_count` nodes — the knowledge a routing-table computation merges
   /// with the local view.
@@ -32,6 +35,13 @@ class TopologyBase {
   std::vector<NodeId> advertised_of(NodeId originator) const;
 
   std::size_t originator_count() const { return entries_.size(); }
+
+  /// Folds the advertised topology — (originator, advertised neighbor)
+  /// pairs, deterministic order — into a running state digest. Expiry
+  /// timestamps are deliberately excluded: periodic TC refreshes that keep
+  /// the same advertisement alive must not look like state changes to the
+  /// convergence detector (see Simulator::run_to_convergence).
+  std::uint64_t digest(std::uint64_t h) const;
 
  private:
   struct Entry {

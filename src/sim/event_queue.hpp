@@ -31,6 +31,17 @@ class EventQueue {
   std::size_t pending() const { return events_.size(); }
   std::uint64_t processed() const { return processed_; }
 
+  /// Drops every pending event and rewinds the clock to 0 — the batch-run
+  /// reset. Discarding the queued callbacks (which capture the previous
+  /// run's nodes) before those nodes are reset is what makes per-run reuse
+  /// of a Simulator safe.
+  void reset() {
+    events_ = {};
+    now_ = 0.0;
+    next_sequence_ = 0;
+    processed_ = 0;
+  }
+
  private:
   struct Event {
     SimTime time;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "graph/node_id.hpp"
@@ -9,6 +10,18 @@
 #include "sim/event_queue.hpp"
 
 namespace qolsr {
+
+/// One immutable wire-format packet, shared by every delivery it fans out
+/// to: a broadcast to 35 neighbors schedules 35 deliveries of the *same*
+/// buffer instead of 35 byte-vector copies. The const element type makes
+/// the sharing safe by construction — no receiver can mutate a buffer
+/// another delivery still reads.
+using SharedBytes = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Seals a freshly serialized packet into the shared immutable form.
+inline SharedBytes make_shared_bytes(std::vector<std::byte> bytes) {
+  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+}
 
 /// What a protocol node sees of the outside world: a clock, a scheduler,
 /// and an ideal MAC (paper §IV-A: "no interferences and no packet
@@ -21,12 +34,13 @@ class Medium {
   virtual void schedule_in(SimTime delay, std::function<void()> callback) = 0;
 
   /// Delivers `bytes` to every node within radio range of `from` after the
-  /// propagation delay. Loss-free and collision-free.
-  virtual void broadcast(NodeId from, std::vector<std::byte> bytes) = 0;
+  /// propagation delay. Loss-free and collision-free; all deliveries share
+  /// the one immutable buffer.
+  virtual void broadcast(NodeId from, SharedBytes bytes) = 0;
 
   /// Delivers to one in-range neighbor (data forwarding). Packets to
   /// out-of-range nodes vanish (counted by the caller as drops).
-  virtual void unicast(NodeId from, NodeId to, std::vector<std::byte> bytes) = 0;
+  virtual void unicast(NodeId from, NodeId to, SharedBytes bytes) = 0;
 
   /// Ground-truth measured QoS of the link (a,b); nullptr when out of
   /// range. Link-quality measurement is outside the paper's scope, so the

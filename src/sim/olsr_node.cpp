@@ -3,24 +3,43 @@
 #include <algorithm>
 
 #include "routing/advertised_topology.hpp"
+#include "util/digest.hpp"
 #include "util/log.hpp"
 
 namespace qolsr {
 
 OlsrNode::OlsrNode(NodeId id, Medium& medium, TraceStats& trace,
                    const AnsSelector& flooding_selector,
-                   const AnsSelector& ans_selector, RouteFn route_fn,
+                   const AnsSelector& ans_selector, const RouteFn& route_fn,
                    const NodeConfig& config, std::uint64_t seed)
     : id_(id),
       medium_(medium),
       trace_(trace),
-      flooding_selector_(flooding_selector),
-      ans_selector_(ans_selector),
-      route_fn_(std::move(route_fn)),
+      flooding_selector_(&flooding_selector),
+      ans_selector_(&ans_selector),
+      route_fn_(&route_fn),
       config_(config),
       rng_(seed ^ (0x517cc1b727220a95ULL * (id + 1))),
       tables_(id, config.neighbor_hold),
       topology_(config.topology_hold) {}
+
+void OlsrNode::reset(const AnsSelector& flooding_selector,
+                     const AnsSelector& ans_selector, const RouteFn& route_fn,
+                     const NodeConfig& config, std::uint64_t seed) {
+  flooding_selector_ = &flooding_selector;
+  ans_selector_ = &ans_selector;
+  route_fn_ = &route_fn;
+  config_ = config;
+  rng_ = util::Rng(seed ^ (0x517cc1b727220a95ULL * (id_ + 1)));
+  tables_ = NeighborTables(id_, config.neighbor_hold);
+  topology_ = TopologyBase(config.topology_hold);
+  duplicates_.clear();
+  flooding_mpr_.clear();
+  ans_.clear();
+  ansn_ = 0;
+  last_advertised_.clear();
+  next_sequence_ = 0;
+}
 
 void OlsrNode::start() {
   medium_.schedule_in(rng_.uniform(0.0, config_.jitter),
@@ -53,8 +72,8 @@ std::vector<LinkAdvert> OlsrNode::build_hello_links() const {
 
 void OlsrNode::recompute_selection() {
   const LocalView view = tables_.build_local_view();
-  flooding_mpr_ = flooding_selector_.select(view);
-  ans_ = ans_selector_.select(view);
+  flooding_mpr_ = flooding_selector_->select(view);
+  ans_ = ans_selector_->select(view);
   if (ans_ != last_advertised_) {
     ++ansn_;
     last_advertised_ = ans_;
@@ -74,9 +93,9 @@ void OlsrNode::hello_tick() {
   header.originator = id_;
   header.sequence = next_sequence_++;
   header.ttl = 1;  // HELLOs are never forwarded
-  auto bytes = serialize(header, hello);
+  auto bytes = make_shared_bytes(serialize(header, hello));
   trace_.hello_sent += 1;
-  trace_.control_bytes += bytes.size();
+  trace_.control_bytes += bytes->size();
   medium_.broadcast(id_, std::move(bytes));
 
   medium_.schedule_in(config_.hello_interval +
@@ -108,9 +127,9 @@ void OlsrNode::tc_tick() {
     topology_.on_tc(tc, now);
     // Record our own flood so re-broadcasts that echo back are dropped.
     duplicates_.check_and_insert(id_, header.sequence, now);
-    auto bytes = serialize(header, tc);
+    auto bytes = make_shared_bytes(serialize(header, tc));
     trace_.tc_originated += 1;
-    trace_.control_bytes += bytes.size();
+    trace_.control_bytes += bytes->size();
     medium_.broadcast(id_, std::move(bytes));
   }
 
@@ -162,9 +181,9 @@ void OlsrNode::handle_tc(const PacketHeader& header, const TcMessage& tc,
   PacketHeader forwarded = header;
   forwarded.ttl -= 1;
   forwarded.hop_count += 1;
-  auto bytes = serialize(forwarded, tc);
+  auto bytes = make_shared_bytes(serialize(forwarded, tc));
   trace_.tc_forwarded += 1;
-  trace_.control_bytes += bytes.size();
+  trace_.control_bytes += bytes->size();
   medium_.broadcast(id_, std::move(bytes));
 }
 
@@ -211,12 +230,21 @@ void OlsrNode::forward_or_deliver(PacketHeader header,
     trace_.data_dropped += 1;
     return;
   }
-  const NodeId next = route_fn_(knowledge, id_, data.destination);
+  const NodeId next = (*route_fn_)(knowledge, id_, data.destination);
   if (next == kInvalidNode) {
     trace_.data_dropped += 1;
     return;
   }
-  medium_.unicast(id_, next, serialize(header, data));
+  medium_.unicast(id_, next, make_shared_bytes(serialize(header, data)));
+}
+
+std::uint64_t OlsrNode::state_digest(std::uint64_t h) const {
+  for (NodeId n : flooding_mpr_) h = util::digest_mix(h, n);
+  h = util::digest_mix(h, flooding_mpr_.size());
+  for (NodeId n : ans_) h = util::digest_mix(h, n);
+  h = util::digest_mix(h, ans_.size());
+  h = tables_.digest(h);
+  return topology_.digest(h);
 }
 
 Graph OlsrNode::knowledge_graph() const {

@@ -46,10 +46,30 @@ class OlsrNode {
   /// destination is unreachable.
   using RouteFn = std::function<NodeId(const Graph&, NodeId, NodeId)>;
 
+  /// The selectors and the route function are borrowed, not copied — the
+  /// Simulator owns them and outlives its nodes, and `reset` can rebind
+  /// them without reconstructing the node. The deleted rvalue overloads
+  /// keep a temporary RouteFn (e.g. a lambda literal converting to
+  /// std::function at the call site) from silently dangling.
   OlsrNode(NodeId id, Medium& medium, TraceStats& trace,
            const AnsSelector& flooding_selector,
-           const AnsSelector& ans_selector, RouteFn route_fn,
+           const AnsSelector& ans_selector, const RouteFn& route_fn,
            const NodeConfig& config, std::uint64_t seed);
+  OlsrNode(NodeId id, Medium& medium, TraceStats& trace,
+           const AnsSelector& flooding_selector,
+           const AnsSelector& ans_selector, RouteFn&& route_fn,
+           const NodeConfig& config, std::uint64_t seed) = delete;
+
+  /// Per-run reset of a reused node: forgets every table, rebinds the
+  /// heuristics, and re-derives the RNG stream from `seed` exactly as
+  /// construction would — a reset node is indistinguishable from a fresh
+  /// one. Does not reschedule ticks; call `start` afterwards.
+  void reset(const AnsSelector& flooding_selector,
+             const AnsSelector& ans_selector, const RouteFn& route_fn,
+             const NodeConfig& config, std::uint64_t seed);
+  void reset(const AnsSelector& flooding_selector,
+             const AnsSelector& ans_selector, RouteFn&& route_fn,
+             const NodeConfig& config, std::uint64_t seed) = delete;
 
   /// Schedules the first HELLO and TC (with per-node jitter).
   void start();
@@ -70,6 +90,12 @@ class OlsrNode {
   /// HELLO-derived local view.
   Graph knowledge_graph() const;
 
+  /// Folds the node's protocol state (selection results, link state,
+  /// topology base — no timers) into a running digest. Equal across steps
+  /// ⇔ the node's converged-state snapshot did not change; the Simulator's
+  /// convergence detector compares the fold over all nodes.
+  std::uint64_t state_digest(std::uint64_t h) const;
+
  private:
   void hello_tick();
   void tc_tick();
@@ -84,9 +110,9 @@ class OlsrNode {
   NodeId id_;
   Medium& medium_;
   TraceStats& trace_;
-  const AnsSelector& flooding_selector_;
-  const AnsSelector& ans_selector_;
-  RouteFn route_fn_;
+  const AnsSelector* flooding_selector_;
+  const AnsSelector* ans_selector_;
+  const RouteFn* route_fn_;
   NodeConfig config_;
   util::Rng rng_;
 

@@ -1,39 +1,93 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
+#include "util/digest.hpp"
+
 namespace qolsr {
 
 Simulator::Simulator(Graph graph, const AnsSelector& flooding_selector,
                      const AnsSelector& ans_selector,
                      OlsrNode::RouteFn route_fn, SimConfig config)
-    : graph_(std::move(graph)), config_(config) {
-  nodes_.reserve(graph_.node_count());
-  for (NodeId id = 0; id < graph_.node_count(); ++id) {
-    nodes_.push_back(std::make_unique<OlsrNode>(
-        id, *this, trace_, flooding_selector, ans_selector, route_fn,
-        config_.node, config_.seed));
-    nodes_.back()->start();
-  }
+    : config_(config) {
+  reset(std::move(graph), flooding_selector, ans_selector,
+        std::move(route_fn), config.seed);
 }
 
-void Simulator::broadcast(NodeId from, std::vector<std::byte> bytes) {
-  // Ideal MAC: every in-range node receives an intact copy after the
-  // propagation delay. The payload is shared (shared_ptr) so a broadcast
-  // to 35 neighbors doesn't copy the packet 35 times.
-  auto shared = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+void Simulator::reset(Graph graph, const AnsSelector& flooding_selector,
+                      const AnsSelector& ans_selector,
+                      OlsrNode::RouteFn route_fn, std::uint64_t seed) {
+  // The queued callbacks capture node pointers from the previous run; drop
+  // them before touching the node vector.
+  queue_.reset();
+  graph_ = std::move(graph);
+  config_.seed = seed;
+  trace_ = TraceStats{};
+  trace_at_convergence_ = TraceStats{};
+  route_fn_ = std::move(route_fn);
+
+  const std::size_t n = graph_.node_count();
+  if (nodes_.size() > n) nodes_.resize(n);
+  for (std::size_t id = 0; id < nodes_.size(); ++id)
+    nodes_[id]->reset(flooding_selector, ans_selector, route_fn_,
+                      config_.node, seed);
+  nodes_.reserve(n);
+  while (nodes_.size() < n)
+    nodes_.push_back(std::make_unique<OlsrNode>(
+        static_cast<NodeId>(nodes_.size()), *this, trace_, flooding_selector,
+        ans_selector, route_fn_, config_.node, seed));
+  for (auto& node : nodes_) node->start();
+}
+
+ConvergenceReport Simulator::run_to_convergence() {
+  const double step = config_.derived_convergence_step();
+  const double dwell = config_.derived_convergence_dwell();
+  const double cap = config_.derived_max_sim_time();
+
+  ConvergenceReport report;
+  std::uint64_t digest = state_digest();
+  report.converged_at = now();
+  trace_at_convergence_ = trace_;
+  while (now() < cap) {
+    run_until(std::min(now() + step, cap));
+    const std::uint64_t next = state_digest();
+    if (next != digest) {
+      digest = next;
+      report.converged_at = now();
+      trace_at_convergence_ = trace_;
+    } else if (now() - report.converged_at >= dwell) {
+      break;
+    }
+  }
+  report.end_time = now();
+  report.converged = report.end_time - report.converged_at >= dwell;
+  return report;
+}
+
+std::uint64_t Simulator::state_digest() const {
+  std::uint64_t h = util::kDigestSeed;
+  for (const auto& node : nodes_) h = node->state_digest(h);
+  return h;
+}
+
+void Simulator::broadcast(NodeId from, SharedBytes bytes) {
+  // Ideal MAC: every in-range node receives the same intact buffer after
+  // the propagation delay — one immutable allocation shared across the
+  // whole fan-out, never a per-neighbor copy.
   for (const Edge& e : graph_.neighbors(from)) {
     const NodeId to = e.to;
-    queue_.schedule_in(config_.propagation_delay, [this, from, to, shared] {
-      nodes_[to]->on_receive(from, *shared);
+    queue_.schedule_in(config_.propagation_delay, [this, from, to, bytes] {
+      nodes_[to]->on_receive(from, *bytes);
     });
   }
 }
 
-void Simulator::unicast(NodeId from, NodeId to, std::vector<std::byte> bytes) {
+void Simulator::unicast(NodeId from, NodeId to, SharedBytes bytes) {
   if (!graph_.has_edge(from, to)) return;  // next hop out of range: lost
-  auto shared = std::make_shared<std::vector<std::byte>>(std::move(bytes));
-  queue_.schedule_in(config_.propagation_delay, [this, from, to, shared] {
-    nodes_[to]->on_receive(from, *shared);
-  });
+  queue_.schedule_in(config_.propagation_delay,
+                     [this, from, to, bytes = std::move(bytes)] {
+                       nodes_[to]->on_receive(from, *bytes);
+                     });
 }
 
 }  // namespace qolsr

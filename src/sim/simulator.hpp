@@ -17,6 +17,45 @@ struct SimConfig {
   /// One-hop propagation + processing latency of the ideal MAC.
   double propagation_delay = 0.001;
   std::uint64_t seed = 1;
+
+  // ---- convergence detection (run_to_convergence) -----------------------
+  /// How often the detector samples the network state digest. 0 derives
+  /// the HELLO interval — state only changes on protocol ticks, so finer
+  /// sampling buys resolution no protocol event can use.
+  double convergence_step = 0.0;
+  /// How long the digest must stay unchanged to declare convergence. 0
+  /// derives `topology_hold + tc_interval + 2*jitter`: long enough that a
+  /// node which stopped advertising has its stale entries expire out of
+  /// every topology base (up to topology_hold after its last TC, noticed
+  /// at the holder's next TC tick) — anything still unchanged after that
+  /// window is genuinely quiescent.
+  double convergence_dwell = 0.0;
+  /// Hard stop for a network that never settles. 0 derives twice the old
+  /// fixed horizon, `2 * (3*tc_interval + 4*hello_interval)`.
+  double max_sim_time = 0.0;
+
+  double derived_convergence_step() const {
+    return convergence_step > 0.0 ? convergence_step : node.hello_interval;
+  }
+  double derived_convergence_dwell() const {
+    return convergence_dwell > 0.0
+               ? convergence_dwell
+               : node.topology_hold + node.tc_interval + 2.0 * node.jitter;
+  }
+  double derived_max_sim_time() const {
+    return max_sim_time > 0.0
+               ? max_sim_time
+               : 2.0 * (3.0 * node.tc_interval + 4.0 * node.hello_interval);
+  }
+};
+
+/// What run_to_convergence measured: when the protocol state last changed
+/// (the *actual* convergence time the control-plane stats report) and
+/// whether the dwell window confirmed quiescence before the hard cap.
+struct ConvergenceReport {
+  SimTime converged_at = 0.0;  ///< time of the last observed state change
+  SimTime end_time = 0.0;      ///< simulation clock when the run stopped
+  bool converged = false;      ///< state held stable for the dwell window
 };
 
 /// Whole-network discrete-event simulation of the OLSR control plane over
@@ -25,23 +64,42 @@ struct SimConfig {
 /// plugged-in flooding + ANS selection heuristics, and data packets are
 /// routed hop-by-hop with the QoS routing function.
 ///
-/// This is the distributed counterpart of the oracle evaluation path —
+/// This is the distributed counterpart of the oracle evaluation path: the
+/// packet evaluation backend (eval/packet_runner.hpp) measures set sizes,
+/// delivery and control-plane cost from the converged state, and
 /// integration tests assert that, once converged, each node's neighbor
 /// view, ANS and topology base equal the direct graph computations.
+///
+/// Batch use: default-construct once, then per run `reset(...)` +
+/// `run_to_convergence()` — the node objects, queue and trace are reused
+/// instead of being reallocated per run.
 class Simulator final : public Medium {
  public:
+  /// An empty simulator (no nodes); bring it to life with `reset`.
+  Simulator() = default;
+
   Simulator(Graph graph, const AnsSelector& flooding_selector,
             const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
             SimConfig config = {});
 
+  /// The seed-driven batch-run entry point: rewinds the clock, drops every
+  /// pending event and trace counter, installs the new ground truth and
+  /// heuristics, and restarts every node. A reset simulator behaves
+  /// identically to a freshly constructed one with `config.seed = seed`;
+  /// node objects surviving from the previous run are reused.
+  void reset(Graph graph, const AnsSelector& flooding_selector,
+             const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
+             std::uint64_t seed);
+
   /// Advances the simulation clock.
   void run_until(SimTime horizon) { queue_.run_until(horizon); }
 
-  /// Convenience: runs long enough for HELLO handshakes, selection and one
-  /// full TC flood round to settle everywhere (3 TC intervals + slack).
-  void run_to_convergence() {
-    run_until(3.0 * config_.node.tc_interval + 4.0 * config_.node.hello_interval);
-  }
+  /// Runs until the network-wide protocol state digest has been stable for
+  /// the config-derived dwell window (or the config-derived hard cap is
+  /// hit), sampling every config-derived step. Returns when the state
+  /// last changed — the measured convergence time — instead of assuming a
+  /// fixed horizon.
+  ConvergenceReport run_to_convergence();
 
   /// Failure injection: removes the radio link (u,v) from the ground-truth
   /// topology. HELLOs stop crossing it, so both ends' neighbor entries
@@ -53,15 +111,29 @@ class Simulator final : public Medium {
   const OlsrNode& node(NodeId id) const { return *nodes_[id]; }
   const Graph& network() const { return graph_; }
   const TraceStats& trace() const { return trace_; }
+  /// The trace counters as of ConvergenceReport::converged_at — snapshotted
+  /// by run_to_convergence at the last observed state change, so
+  /// control-plane cost is measured over the same window for every
+  /// protocol regardless of how long the quiescence dwell (or the hard
+  /// cap) kept the simulation running afterwards.
+  const TraceStats& trace_at_convergence() const {
+    return trace_at_convergence_;
+  }
   EventQueue& queue() { return queue_; }
+  const SimConfig& config() const { return config_; }
+
+  /// Fold of every node's protocol state (selections, link state, topology
+  /// bases — no timers); equal digests across steps mean no node's
+  /// converged-state snapshot changed.
+  std::uint64_t state_digest() const;
 
   // -- Medium --
   SimTime now() const override { return queue_.now(); }
   void schedule_in(SimTime delay, std::function<void()> callback) override {
     queue_.schedule_in(delay, std::move(callback));
   }
-  void broadcast(NodeId from, std::vector<std::byte> bytes) override;
-  void unicast(NodeId from, NodeId to, std::vector<std::byte> bytes) override;
+  void broadcast(NodeId from, SharedBytes bytes) override;
+  void unicast(NodeId from, NodeId to, SharedBytes bytes) override;
   const LinkQos* measured_qos(NodeId a, NodeId b) const override {
     return graph_.edge_qos(a, b);
   }
@@ -72,6 +144,8 @@ class Simulator final : public Medium {
   SimConfig config_;
   EventQueue queue_;
   TraceStats trace_;
+  TraceStats trace_at_convergence_;  ///< see trace_at_convergence()
+  OlsrNode::RouteFn route_fn_;  ///< shared by all nodes (they borrow it)
   std::vector<std::unique_ptr<OlsrNode>> nodes_;
 };
 

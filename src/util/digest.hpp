@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qolsr::util {
+
+/// Seed of the state-digest fold chains (FNV-1a offset basis).
+inline constexpr std::uint64_t kDigestSeed = 0xcbf29ce484222325ULL;
+
+/// Folds one value into a running digest (boost::hash_combine-style mix).
+/// Used for the cheap converged-state fingerprints the simulator compares
+/// between steps: equal protocol state must fold to equal digests, and the
+/// mix spreads single-field changes across the whole word so a quiescence
+/// check can compare one integer instead of whole tables.
+inline std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace qolsr::util

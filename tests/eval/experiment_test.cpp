@@ -229,6 +229,18 @@ TEST(RunExperiment, RejectsBadSpecs) {
   ExperimentSpec no_runs = small_spec();
   no_runs.scenario.runs = 0;
   EXPECT_THROW(run_experiment(no_runs), ExperimentError);
+
+  // Packet-backend constraints: mobility epochs are a ROADMAP open item
+  // and the chain routing model is an oracle-only discipline.
+  ExperimentSpec packet_mobility = small_spec();
+  packet_mobility.backend = BackendId::kPacket;
+  packet_mobility.scenario.dynamics.model = DynamicsSpec::Model::kChurn;
+  EXPECT_THROW(run_experiment(packet_mobility), ExperimentError);
+
+  ExperimentSpec packet_chain = small_spec();
+  packet_chain.backend = BackendId::kPacket;
+  packet_chain.scenario.routing_model = Scenario::RoutingModel::kAnsChain;
+  EXPECT_THROW(run_experiment(packet_chain), ExperimentError);
 }
 
 TEST(ParseExperimentSpec, FlagsMapOntoTheSpec) {
@@ -284,6 +296,18 @@ TEST(ParseExperimentSpec, LaterFlagsOverrideTheCannedBase) {
   EXPECT_EQ(spec.threads, 1u);
 }
 
+TEST(ParseExperimentSpec, BackendFlagSelectsTheEngine) {
+  EXPECT_EQ(ExperimentSpec{}.backend, BackendId::kOracle);  // the default
+  EXPECT_EQ(parse_experiment_spec({"--backend=packet"}).backend,
+            BackendId::kPacket);
+  // An explicit oracle round-trips back to the default engine.
+  EXPECT_EQ(parse_experiment_spec({"--backend=packet", "--backend=oracle"})
+                .backend,
+            BackendId::kOracle);
+  EXPECT_EQ(backend_name(BackendId::kOracle), "oracle");
+  EXPECT_EQ(backend_name(BackendId::kPacket), "packet");
+}
+
 TEST(ParseExperimentSpec, RejectsUnknownFlagsAndBadValues) {
   EXPECT_THROW(parse_experiment_spec({"--bogus=1"}), ExperimentError);
   EXPECT_THROW(parse_experiment_spec({"--metric=latency"}), ExperimentError);
@@ -292,6 +316,7 @@ TEST(ParseExperimentSpec, RejectsUnknownFlagsAndBadValues) {
   EXPECT_THROW(parse_experiment_spec({"--field=100"}), ExperimentError);
   EXPECT_THROW(parse_experiment_spec({"--routing=flood"}), ExperimentError);
   EXPECT_THROW(parse_experiment_spec({"--pairs=nearest"}), ExperimentError);
+  EXPECT_THROW(parse_experiment_spec({"--backend=ns3"}), ExperimentError);
   // Valueless switches must reject an attached value — silently dropping
   // it would turn "--per-run=false" into an enable.
   EXPECT_THROW(parse_experiment_spec({"--per-run=false"}), ExperimentError);

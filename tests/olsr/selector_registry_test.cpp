@@ -70,6 +70,26 @@ TEST(SelectorRegistry, UnknownNameThrowsWithKnownNames) {
   }
 }
 
+TEST(SelectorRegistry, FloodingRolesPairProtocolsWithTheirTcDissemination) {
+  const SelectorRegistry& r = SelectorRegistry::builtin();
+  // OLSR and QOLSR flood on the very set they advertise...
+  EXPECT_EQ(r.create_flooding("olsr_mpr", MetricId::kBandwidth)->name(),
+            "olsr_mpr");
+  EXPECT_EQ(r.create_flooding("qolsr_mpr1", MetricId::kDelay)->name(),
+            "qolsr_mpr1_delay");
+  EXPECT_EQ(r.create_flooding("qolsr_mpr2", MetricId::kBandwidth)->name(),
+            "qolsr_mpr2_bandwidth");
+  // ...while the split QANS designs advertise a filtered set but keep RFC
+  // 3626 MPR flooding (they only change *what is advertised*).
+  EXPECT_EQ(r.create_flooding("topology_filtering", MetricId::kBandwidth)
+                ->name(),
+            "olsr_mpr");
+  EXPECT_EQ(r.create_flooding("fnbp", MetricId::kBandwidth)->name(),
+            "olsr_mpr");
+  EXPECT_THROW(r.create_flooding("no_such", MetricId::kBandwidth),
+               std::invalid_argument);
+}
+
 TEST(SelectorRegistry, CustomRegistrationAndDuplicateRejection) {
   SelectorRegistry r;
   r.add("mine", [](MetricId) { return std::make_unique<Rfc3626Selector>(); });

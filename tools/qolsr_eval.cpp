@@ -28,6 +28,11 @@ int usage(std::ostream& os, int exit_code) {
      << "\n"
      << "Runs one declarative experiment (a density sweep of ANS selection\n"
      << "heuristics under a QoS metric) and emits per-density aggregates.\n"
+     << "Every spec executes on either evaluation backend: the analytic\n"
+     << "oracle (default) or, with --backend=packet, a discrete-event\n"
+     << "HELLO/TC control-plane simulation per run that also measures\n"
+     << "message/byte overhead, duplicate suppression and convergence\n"
+     << "time from the converged protocol state.\n"
      << "--figure=N starts from the canned spec of the paper's Fig. N;\n"
      << "every later flag overrides it. --figure=M is the repository's\n"
      << "mobility figure: delivery ratio vs. node speed under random-\n"
