@@ -63,6 +63,40 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
                           "': no densities to sweep");
   if (spec.scenario.runs == 0)
     throw ExperimentError("experiment '" + spec.name + "': runs must be > 0");
+  const auto is_probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  const FaultPlan& faults = spec.scenario.faults;
+  if (!is_probability(faults.loss_rate))
+    throw ExperimentError("experiment '" + spec.name +
+                          "': --loss is a frame-loss probability in [0, 1]");
+  for (const LinkLossSpec& link : faults.link_loss)
+    if (!is_probability(link.rate))
+      throw ExperimentError("experiment '" + spec.name +
+                            "': per-link loss rates live in [0, 1]");
+  for (const FaultIncident& incident : faults.incidents)
+    if (incident.count == 0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': fault incidents need count >= 1");
+  if (spec.scenario.probe_packets == 0)
+    throw ExperimentError("experiment '" + spec.name +
+                          "': --probes must be >= 1");
+  if (spec.scenario.sweep_axis == Scenario::SweepAxis::kLoss) {
+    if (spec.backend != BackendId::kPacket)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': the loss axis needs --backend=packet (the "
+                            "oracle has no frames to lose)");
+    for (const double rate : spec.scenario.densities)
+      if (!is_probability(rate))
+        throw ExperimentError("experiment '" + spec.name +
+                              "': loss sweep values are probabilities in "
+                              "[0, 1]");
+  } else if (faults.active() && spec.backend != BackendId::kPacket) {
+    throw ExperimentError("experiment '" + spec.name +
+                          "': fault injection (--loss/--crash/--flap/"
+                          "--partition) needs --backend=packet");
+  }
+  if (spec.scenario.probe_packets != 1 && spec.backend != BackendId::kPacket)
+    throw ExperimentError("experiment '" + spec.name +
+                          "': --probes is a packet-backend knob");
   const DynamicsSpec& dynamics = spec.scenario.dynamics;
   if (spec.scenario.sweep_axis == Scenario::SweepAxis::kSpeed) {
     if (dynamics.model != DynamicsSpec::Model::kWaypoint)
@@ -91,7 +125,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       throw ExperimentError(
           "experiment '" + spec.name +
           "': waypoint speeds must satisfy 0 <= min <= max (--speed=LO:HI)");
-    const auto is_probability = [](double p) { return p >= 0.0 && p <= 1.0; };
     if (!is_probability(dynamics.link_down_rate) ||
         !is_probability(dynamics.link_up_rate))
       throw ExperimentError("experiment '" + spec.name +
@@ -264,10 +297,34 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
         spec.scenario.sweep_axis = Scenario::SweepAxis::kDensity;
       } else if (value == "speed") {
         spec.scenario.sweep_axis = Scenario::SweepAxis::kSpeed;
+      } else if (value == "loss") {
+        spec.scenario.sweep_axis = Scenario::SweepAxis::kLoss;
       } else {
-        throw ExperimentError("flag --axis: expected density|speed, got '" +
-                              std::string(value) + "'");
+        throw ExperimentError(
+            "flag --axis: expected density|speed|loss, got '" +
+            std::string(value) + "'");
       }
+    } else if (flag == "--loss") {
+      spec.scenario.faults.loss_rate = parse_double(flag, value);
+    } else if (flag == "--probes") {
+      spec.scenario.probe_packets = parse_uint(flag, value);
+    } else if (flag == "--crash" || flag == "--flap") {
+      // K victims, optionally K@DURATION (seconds until restart / link-up;
+      // 0 = permanent).
+      FaultIncident incident;
+      incident.kind = flag == "--crash" ? FaultIncident::Kind::kNodeCrash
+                                        : FaultIncident::Kind::kLinkFlap;
+      incident.duration = flag == "--crash" ? 10.0 : 5.0;
+      const std::size_t at = value.find('@');
+      incident.count = parse_uint(flag, value.substr(0, at));
+      if (at != std::string_view::npos)
+        incident.duration = parse_double(flag, value.substr(at + 1));
+      spec.scenario.faults.incidents.push_back(incident);
+    } else if (flag == "--partition") {
+      FaultIncident incident;
+      incident.kind = FaultIncident::Kind::kPartition;
+      incident.duration = parse_double(flag, value);
+      spec.scenario.faults.incidents.push_back(incident);
     } else if (flag == "--format") {
       spec.format = value;
     } else if (flag == "--output") {
@@ -321,9 +378,25 @@ std::string experiment_flags_help() {
       "  --churn-up=P          per-epoch P(failed link recovers) (0.25)\n"
       "  --refresh=N           epochs between TC refreshes; routing runs on\n"
       "                        the last refresh's advertised state (def. 1)\n"
-      "  --axis=density|speed  meaning of the sweep values: mean degree or\n"
-      "                        waypoint speed (speed fixes density at the\n"
-      "                        --field degree; needs --mobility=waypoint)\n"
+      "  --axis=density|speed|loss\n"
+      "                        meaning of the sweep values: mean degree,\n"
+      "                        waypoint speed (fixes density at the --degree\n"
+      "                        value; needs --mobility=waypoint), or ambient\n"
+      "                        frame-loss probability (fixes density; needs\n"
+      "                        --backend=packet — the figure R sweep)\n"
+      "  --loss=P              ambient Bernoulli frame-loss probability of\n"
+      "                        the packet backend's medium (default 0)\n"
+      "  --probes=N            data probes routed per run/protocol pair\n"
+      "                        (default 1; more resolves per-run delivery\n"
+      "                        ratio under loss)\n"
+      "  --crash=K[@D]         schedule a crash of K random nodes, restart\n"
+      "                        after D seconds (default 10; 0 = permanent);\n"
+      "                        injected after measurement, re-convergence is\n"
+      "                        timed (repeatable)\n"
+      "  --flap=K[@D]          schedule K random links down for D seconds\n"
+      "                        (default 5; 0 = permanent) (repeatable)\n"
+      "  --partition=D         schedule an id-halves network partition that\n"
+      "                        heals after D seconds (0 = permanent)\n"
       "  --format=F            table|csv|json (default table)\n"
       "  --output=PATH         write results to PATH instead of stdout\n"
       "  --per-run             also record and emit per-run records\n";

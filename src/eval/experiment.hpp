@@ -111,8 +111,13 @@ ExperimentResult run_experiment(
 ///   --mobility=MODEL      none|waypoint|churn epoch-loop evaluation
 ///   --epochs=N --epoch-duration=S --speed=V|LO:HI --pause=N
 ///   --churn-down=P --churn-up=P --refresh=N (TC refresh lag, epochs)
-///   --axis=density|speed  sweep-value meaning (--degree fixes density
-///                         for speed sweeps)
+///   --axis=density|speed|loss sweep-value meaning (--degree fixes the
+///                         density for speed and loss sweeps)
+///   --loss=P              ambient frame-loss probability (packet backend)
+///   --probes=N            data probes per (run, protocol) (default 1)
+///   --crash=K[@D] --flap=K[@D] --partition=D
+///                         scheduled fault incidents injected after the
+///                         measurement phase; re-convergence is timed
 ///   --format=F --output=PATH --per-run
 ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
                                      ExperimentSpec base = {});

@@ -60,6 +60,59 @@ ExperimentSpec figure_m_spec(const FigureConfig& config) {
   return spec;
 }
 
+ExperimentSpec figure_r_spec(const FigureConfig& config) {
+  ExperimentSpec spec;
+  spec.name = "figR_delivery_vs_loss";
+  spec.backend = BackendId::kPacket;
+  spec.metric = MetricId::kBandwidth;
+  spec.selectors = {"olsr_mpr", "qolsr_mpr1", "qolsr_mpr2",
+                    "topology_filtering", "fnbp"};
+  spec.scenario.sweep_axis = Scenario::SweepAxis::kLoss;
+  spec.scenario.densities = {0.0, 0.1, 0.2, 0.3, 0.4};  // P(frame lost)
+  spec.scenario.field.degree = 10.0;
+  // Multi-hop flows: every traversed hop is another chance for the medium
+  // to eat the frame, which the paper's 2-hop pairs would mostly hide.
+  spec.scenario.pair_mode = Scenario::PairMode::kAnyConnected;
+  // Eight probes resolve the per-run delivery ratio in 1/8 steps instead
+  // of {0, 1}; one crash incident per run times re-convergence while the
+  // loss column measures steady-state degradation.
+  spec.scenario.probe_packets = 8;
+  FaultIncident crash;
+  crash.kind = FaultIncident::Kind::kNodeCrash;
+  crash.count = 1;
+  crash.duration = 10.0;
+  spec.scenario.faults.incidents.push_back(crash);
+  spec.scenario.runs = config.runs;
+  spec.scenario.seed = config.seed;
+  spec.threads = config.threads;
+  return spec;
+}
+
+util::Table degradation_table(const std::vector<DensityStats>& sweep,
+                              const std::string& axis) {
+  std::vector<std::string> header{axis};
+  if (!sweep.empty()) {
+    for (const ProtocolStats& p : sweep.front().protocols) {
+      header.push_back(p.name + "_delivery");
+      header.push_back(p.name + "_blackhole");
+      header.push_back(p.name + "_reconv_s");
+    }
+  }
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<std::string> cells{util::format_double(d.density, 2)};
+    for (const ProtocolStats& p : d.protocols) {
+      cells.push_back(util::format_double(p.delivery_ratio(), 3));
+      cells.push_back(
+          util::format_double(static_cast<double>(p.no_route_losses), 0));
+      cells.push_back(
+          util::format_double(p.control.reconvergence_time.mean(), 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
 std::vector<DensityStats> bandwidth_sweep(const FigureConfig& config) {
   return run_experiment(figure_spec(6, config)).sweep;
 }

@@ -36,6 +36,17 @@ ExperimentSpec figure_spec(int figure, const FigureConfig& config = {});
 /// is going stale. `qolsr_eval --figure=M` starts from this spec.
 ExperimentSpec figure_m_spec(const FigureConfig& config = {});
 
+/// "Fig. R" — the repository's canned robustness figure: delivery ratio
+/// vs. ambient frame-loss probability (0..0.4) under the packet backend,
+/// all five selectors, bandwidth metric, any-connected multi-hop pairs at
+/// fixed density δ = 10. Eight data probes per run resolve the delivery
+/// ratio, every failed probe is classified (blackhole / loop / medium
+/// loss), and one scheduled single-node crash per run times
+/// re-convergence. The loss = 0 column is byte-identical to a fault-free
+/// packet sweep — the pin CI holds it to. `qolsr_eval --figure=R` starts
+/// from this spec.
+ExperimentSpec figure_r_spec(const FigureConfig& config = {});
+
 /// Fig. 6 — size of the advertised set vs. density, bandwidth metric.
 util::Table figure6_ans_size_bandwidth(const FigureConfig& config = {});
 
@@ -77,5 +88,11 @@ util::Table dynamics_table(const std::vector<DensityStats>& sweep,
 /// oracle leaves ControlPlaneStats empty).
 util::Table control_plane_table(const std::vector<DensityStats>& sweep,
                                 const std::string& axis = "density");
+/// The fault-engine degradation series: delivery ratio, blackhole (no
+/// route) drop count, and mean re-convergence seconds after injected
+/// incidents. Meaningful only for packet-backend sweeps with an active
+/// FaultPlan (or the loss axis).
+util::Table degradation_table(const std::vector<DensityStats>& sweep,
+                              const std::string& axis = "loss");
 
 }  // namespace qolsr

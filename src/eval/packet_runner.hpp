@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "eval/backend.hpp"
+#include "sim/fault_plan.hpp"
 #include "eval/runner.hpp"
 #include "path/path.hpp"
 #include "routing/forwarding.hpp"
@@ -29,14 +32,29 @@ namespace eval_detail {
 /// sensing, the protocol's flooding + ANS heuristics, TC flooding with
 /// duplicate suppression — run it to *measured* convergence, and take
 /// every figure from the converged protocol state: set sizes from the
-/// nodes' own ANS tables, delivery/overhead from a data packet routed
+/// nodes' own ANS tables, delivery/overhead from data packets routed
 /// hop-by-hop on per-node knowledge (TC topology base + own links), and
 /// the ControlPlaneStats block from the simulator trace.
+///
+/// Under a fault plan the same run additionally measures graceful
+/// degradation, in a fixed order that keeps the fault-free measurements
+/// byte-identical: converge under ambient loss, measure, route the probe
+/// packets and classify every failure (blackhole / loop / medium loss),
+/// and only then inject the scheduled incidents one by one, timing each
+/// re-convergence. A loss-axis sweep overrides the plan's ambient rate
+/// with the sweep value — its loss = 0 point therefore reproduces the
+/// fault-free figures exactly.
 template <Metric M>
-void execute_packet_run(const Scenario& scenario, double density,
+void execute_packet_run(const Scenario& scenario, double axis_value,
                         std::size_t run_index, std::uint64_t run_seed,
                         const ResolvedProtocols& protocols,
                         DensityStats& stats, PacketEvalWorkspace& ws) {
+  const bool loss_axis = scenario.sweep_axis == Scenario::SweepAxis::kLoss;
+  const double density = loss_axis ? scenario.field.degree : axis_value;
+  FaultPlan plan = scenario.faults;
+  if (loss_axis) plan.loss_rate = axis_value;
+  const FaultPlan* faults = plan.active() ? &plan : nullptr;
+
   util::Rng rng(run_seed);
   SampledRun run = sample_run<M>(scenario, density, rng, ws.eval);
   const std::size_t n = run.graph.node_count();
@@ -62,14 +80,12 @@ void execute_packet_run(const Scenario& scenario, double density,
                 return compute_min_hop_next_hop<M>(g, self, dest);
               });
     // One seed for every protocol of the run: all contenders experience
-    // identical tick jitter, so differences are chargeable to the
-    // heuristics alone. The last protocol steals the sampled graph
-    // instead of copying it (everything below reads sim.network()).
-    Graph ground_truth = si + 1 == protocols.ans.size()
-                             ? std::move(run.graph)
-                             : run.graph;
-    ws.sim.reset(std::move(ground_truth), flooding, ans, std::move(route),
-                 run_seed);
+    // identical tick jitter (and the very same loss/fault draws), so
+    // differences are chargeable to the heuristics alone. The sampled
+    // graph is borrowed, never copied — faults live in the simulator's
+    // overlay, and `run` outlives every reset of this loop.
+    ws.sim.reset(run.graph, flooding, ans, std::move(route), run_seed,
+                 faults);
     const ConvergenceReport report = ws.sim.run_to_convergence();
 
     ProtocolStats& ps = stats.protocols[si];
@@ -96,38 +112,94 @@ void execute_packet_run(const Scenario& scenario, double density,
     // not-yet-quiescent state; count it so the sweep point is flagged
     // instead of silently averaged in.
     if (!report.converged) ++ps.control.unconverged;
+    // Fault-engine frame counters — the price paid reaching convergence.
+    // Snapshot now: the reference is invalidated by the re-convergence
+    // calls of the incident loop below.
+    ps.control.frames_lost.add(static_cast<double>(converged.frames_lost));
+    ps.control.frames_blocked.add(
+        static_cast<double>(converged.frames_blocked));
 
-    // One data packet between the shared pair, forwarded by the nodes
+    // Data probes between the shared pair, forwarded by the nodes
     // themselves on whatever their converged knowledge routes. The slack
     // covers the TTL-capped worst case (data_ttl hops of propagation
-    // delay) with generous margin.
-    constexpr std::uint32_t kPayloadId = 1;
+    // delay) with generous margin. Every failed probe is charged to a
+    // fate: no route at some hop (blackhole), TTL exhaustion (loop), or
+    // a frame the lossy medium ate in flight.
+    const std::size_t probes = std::max<std::size_t>(scenario.probe_packets, 1);
     const TraceStats& trace = ws.sim.trace();
-    ws.sim.node(run.source).send_data(run.destination, kPayloadId);
+    for (std::uint32_t pid = 1; pid <= probes; ++pid)
+      ws.sim.node(run.source).send_data(run.destination, pid);
     ws.sim.run_until(ws.sim.now() + 1.0);
-    const auto journey = trace.journeys.find(kPayloadId);
-    const bool delivered =
-        journey != trace.journeys.end() && journey->second.delivered;
-    double value = 0.0;
-    double overhead = 0.0;
-    if (delivered) {
-      value = evaluate_path<M>(ws.sim.network(), journey->second.path);
-      overhead = qos_overhead<M>(value, run.optimal_value);
-      ++ps.delivered;
-      ps.overhead.add(overhead);
-      ps.path_hops.add(
-          static_cast<double>(journey->second.path.size() - 1));
-    } else {
-      ++ps.failed;
+
+    std::size_t probes_delivered = 0;
+    double first_value = 0.0;
+    double first_overhead = 0.0;
+    std::size_t first_hops = 0;
+    for (std::uint32_t pid = 1; pid <= probes; ++pid) {
+      const auto journey = trace.journeys.find(pid);
+      const bool delivered =
+          journey != trace.journeys.end() && journey->second.delivered;
+      if (delivered) {
+        const double value =
+            evaluate_path<M>(ws.sim.network(), journey->second.path);
+        const double overhead = qos_overhead<M>(value, run.optimal_value);
+        ++ps.delivered;
+        ps.overhead.add(overhead);
+        ps.path_hops.add(
+            static_cast<double>(journey->second.path.size() - 1));
+        if (probes_delivered == 0) {
+          first_value = value;
+          first_overhead = overhead;
+          first_hops = journey->second.path.size() - 1;
+        }
+        ++probes_delivered;
+      } else {
+        ++ps.failed;
+        using Drop = TraceStats::Journey::Drop;
+        const Drop fate = journey != trace.journeys.end()
+                              ? journey->second.drop
+                              : Drop::kNone;
+        switch (fate) {
+          case Drop::kNoRoute:
+            ++ps.no_route_losses;
+            break;
+          case Drop::kTtl:
+            ++ps.loop_losses;
+            break;
+          case Drop::kNone:  // vanished in flight: the medium took it
+            ++ps.medium_losses;
+            break;
+        }
+      }
     }
     if (scenario.record_runs) {
       RunRecord::Protocol& rp = record.protocols[si];
       rp.set_size = set_size;
-      rp.delivered = delivered;
-      if (delivered) {
-        rp.value = value;
-        rp.overhead = overhead;
-        rp.hops = journey->second.path.size() - 1;
+      rp.delivered = probes_delivered == probes;
+      rp.convergence_time = report.converged_at;
+      rp.converged = report.converged;
+      rp.control_bytes = static_cast<double>(converged.control_bytes);
+      rp.probes_delivered = probes_delivered;
+      rp.probes_failed = probes - probes_delivered;
+      if (probes_delivered > 0) {
+        rp.value = first_value;
+        rp.overhead = first_overhead;
+        rp.hops = first_hops;
+      }
+    }
+
+    // The incident schedule runs *after* the measurement phase, one
+    // incident at a time: inject, then time how long the network takes to
+    // settle again. Ordering the probes first keeps every figure above
+    // identical whether or not incidents are scheduled — incidents only
+    // add the re-convergence series.
+    if (faults != nullptr) {
+      for (const FaultIncident& incident : faults->incidents) {
+        const double injected_at = ws.sim.now();
+        ws.sim.inject(incident);
+        const ConvergenceReport reconv = ws.sim.run_to_convergence();
+        ps.control.reconvergence_time.add(reconv.converged_at - injected_at);
+        if (!reconv.converged) ++ps.control.reconv_unconverged;
       }
     }
   }

@@ -77,13 +77,29 @@ void write_dynamic_csv(const ExperimentResult& result, std::ostream& os) {
   }
 }
 
+/// The fault-engine columns/fields exist only where they can be nonzero:
+/// a packet-backend result whose scenario carries an active FaultPlan or
+/// sweeps the loss axis. Everything else — including a packet sweep with
+/// no fault flags — keeps its pre-fault-engine byte layout, which is what
+/// the fault-free golden pins (and the figure-R loss = 0 column check)
+/// hold the engine to.
+bool fault_mode(const ExperimentSpec& spec) {
+  return spec.backend == BackendId::kPacket &&
+         (spec.scenario.faults.active() ||
+          spec.scenario.sweep_axis == Scenario::SweepAxis::kLoss);
+}
+
 /// The 12 aggregate columns shared by both static CSV layouts (oracle and
 /// packet) — one writer, so the "figure tooling reads either" contract
-/// cannot drift between the two.
-constexpr const char* kStaticCsvColumns =
-    "metric,density,runs,avg_nodes,protocol,set_size_mean,"
-    "set_size_stddev,delivered,failed,overhead_mean,overhead_stddev,"
-    "path_hops_mean";
+/// cannot drift between the two. The sweep-axis column is labeled by its
+/// meaning; for the default density axis this is byte-identical to the
+/// pre-loss-axis header.
+std::string static_csv_header(const ExperimentSpec& spec) {
+  return std::string("metric,") + sweep_axis_name(spec.scenario.sweep_axis) +
+         ",runs,avg_nodes,protocol,set_size_mean,"
+         "set_size_stddev,delivered,failed,overhead_mean,overhead_stddev,"
+         "path_hops_mean";
+}
 
 void write_static_csv_row_prefix(const ExperimentResult& result,
                                  const DensityStats& d,
@@ -104,8 +120,16 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
     has_records = has_records || !d.run_records.empty();
   if (!has_records) return;
 
-  os << "\ndensity,run,nodes,protocol,set_size,delivered,value,overhead,"
-        "path_hops\n";
+  // Packet-backend records additionally carry the per-run control-plane
+  // outcome — convergence time, the honest converged flag, control bytes,
+  // and the probe split; the oracle layout is pinned and keeps its form.
+  const bool packet = result.spec.backend == BackendId::kPacket;
+  os << '\n' << sweep_axis_name(result.spec.scenario.sweep_axis)
+     << ",run,nodes,protocol,set_size,delivered,value,overhead,path_hops";
+  if (packet)
+    os << ",convergence_time,converged,control_bytes,probes_delivered,"
+          "probes_failed";
+  os << '\n';
   for (const DensityStats& d : result.sweep) {
     for (const RunRecord& r : d.run_records) {
       for (std::size_t si = 0; si < r.protocols.size(); ++si) {
@@ -113,10 +137,15 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
         os << fmt(d.density) << ',' << r.run_index << ',' << r.nodes << ','
            << d.protocols[si].name << ',' << fmt(rp.set_size) << ','
            << (rp.delivered ? 1 : 0) << ',';
-        if (rp.delivered) {
+        if (rp.delivered || (packet && rp.probes_delivered > 0)) {
           os << fmt(rp.value) << ',' << fmt(rp.overhead) << ',' << rp.hops;
         } else {
           os << ",,";
+        }
+        if (packet) {
+          os << ',' << fmt(rp.convergence_time) << ',' << (rp.converged ? 1 : 0)
+             << ',' << fmt(rp.control_bytes) << ',' << rp.probes_delivered
+             << ',' << rp.probes_failed;
         }
         os << '\n';
       }
@@ -129,10 +158,18 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
 /// block the oracle cannot measure — per-run mean message/byte counts,
 /// duplicate-set hits, and the measured convergence time.
 void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
-  os << kStaticCsvColumns
+  const bool faults = fault_mode(result.spec);
+  os << static_csv_header(result.spec)
      << ",hello_msgs_mean,tc_msgs_mean,tc_forwards_mean,"
         "duplicate_drops_mean,control_bytes_mean,convergence_time_mean,"
-        "convergence_time_stddev,unconverged_runs\n";
+        "convergence_time_stddev,unconverged_runs";
+  if (faults)
+    os << ",loss_rate,probes,delivery_ratio,no_route_drops,loop_drops,"
+          "medium_drops,frames_lost_mean,frames_blocked_mean,"
+          "reconvergence_time_mean,reconv_unconverged";
+  os << '\n';
+  const bool loss_axis =
+      result.spec.scenario.sweep_axis == Scenario::SweepAxis::kLoss;
   for (const DensityStats& d : result.sweep) {
     for (const ProtocolStats& p : d.protocols) {
       write_static_csv_row_prefix(result, d, p, os);
@@ -143,7 +180,20 @@ void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
          << fmt(p.control.control_bytes.mean()) << ','
          << fmt(p.control.convergence_time.mean()) << ','
          << fmt(p.control.convergence_time.stddev()) << ','
-         << p.control.unconverged << '\n';
+         << p.control.unconverged;
+      if (faults) {
+        const double loss_rate =
+            loss_axis ? d.density : result.spec.scenario.faults.loss_rate;
+        os << ',' << fmt(loss_rate) << ','
+           << result.spec.scenario.probe_packets << ','
+           << fmt(p.delivery_ratio()) << ',' << p.no_route_losses << ','
+           << p.loop_losses << ',' << p.medium_losses << ','
+           << fmt(p.control.frames_lost.mean()) << ','
+           << fmt(p.control.frames_blocked.mean()) << ','
+           << fmt(p.control.reconvergence_time.mean()) << ','
+           << p.control.reconv_unconverged;
+      }
+      os << '\n';
     }
   }
   write_run_records_csv(result, os);
@@ -162,6 +212,15 @@ void PrettyTableSink::write(const ExperimentResult& result,
   if (spec.backend == BackendId::kPacket)
     os << "# backend=packet — discrete-event HELLO/TC simulation, measured "
           "from converged protocol state\n";
+  const bool faults = fault_mode(spec);
+  if (faults) {
+    os << "# faults: loss="
+       << (spec.scenario.sweep_axis == Scenario::SweepAxis::kLoss
+               ? "<sweep axis>"
+               : fmt(spec.scenario.faults.loss_rate))
+       << " incidents=" << spec.scenario.faults.incidents.size()
+       << " probes/run=" << spec.scenario.probe_packets << "\n";
+  }
   if (dynamic) {
     const DynamicsSpec& dyn = spec.scenario.dynamics;
     os << "# mobility="
@@ -178,6 +237,10 @@ void PrettyTableSink::write(const ExperimentResult& result,
      << overhead_table(result.sweep, axis).to_string();
   os << "\n## diagnostics\n"
      << diagnostics_table(result.sweep, axis).to_string();
+  if (faults)
+    os << "\n## graceful degradation (delivery ratio, blackhole drops, mean "
+          "re-convergence seconds after injected faults)\n"
+       << degradation_table(result.sweep, axis).to_string();
   bool has_control = false;
   for (const DensityStats& d : result.sweep)
     for (const ProtocolStats& p : d.protocols)
@@ -195,6 +258,15 @@ void PrettyTableSink::write(const ExperimentResult& result,
          << " simulation run(s) hit the hard time cap before the control "
             "plane quiesced; their measurements are from unconverged state "
             "(see the unconverged_runs column in csv/json).\n";
+    std::size_t reconv_unconverged = 0;
+    for (const DensityStats& d : result.sweep)
+      for (const ProtocolStats& p : d.protocols)
+        reconv_unconverged += p.control.reconv_unconverged;
+    if (reconv_unconverged > 0)
+      os << "\nWARNING: " << reconv_unconverged
+         << " post-fault re-convergence window(s) hit the hard time cap "
+            "still changing; their reconvergence_time samples are lower "
+            "bounds (see reconv_unconverged in csv/json).\n";
   }
   std::size_t records = 0;
   for (const DensityStats& d : result.sweep) records += d.run_records.size();
@@ -212,7 +284,7 @@ void CsvSink::write(const ExperimentResult& result, std::ostream& os) const {
   // move.
   if (result.spec.backend == BackendId::kPacket)
     return write_packet_csv(result, os);
-  os << kStaticCsvColumns << '\n';
+  os << static_csv_header(result.spec) << '\n';
   for (const DensityStats& d : result.sweep) {
     for (const ProtocolStats& p : d.protocols) {
       write_static_csv_row_prefix(result, d, p, os);
@@ -243,6 +315,26 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
   os << "  \"seed\": " << spec.scenario.seed << ",\n";
   os << "  \"threads\": " << spec.threads << ",\n";
   const bool dynamic = spec.scenario.dynamics.enabled();
+  const bool faults = fault_mode(spec);
+  if (faults) {
+    const FaultPlan& plan = spec.scenario.faults;
+    std::size_t crashes = 0, flaps = 0, partitions = 0;
+    for (const FaultIncident& incident : plan.incidents) {
+      switch (incident.kind) {
+        case FaultIncident::Kind::kNodeCrash: ++crashes; break;
+        case FaultIncident::Kind::kLinkFlap: ++flaps; break;
+        case FaultIncident::Kind::kPartition: ++partitions; break;
+      }
+    }
+    os << "  \"axis\": \"" << sweep_axis_name(spec.scenario.sweep_axis)
+       << "\",\n";
+    os << "  \"faults\": {\"loss_rate\": " << fmt(plan.loss_rate)
+       << ", \"link_loss_overrides\": " << plan.link_loss.size()
+       << ", \"crash_incidents\": " << crashes
+       << ", \"flap_incidents\": " << flaps
+       << ", \"partition_incidents\": " << partitions
+       << ", \"probe_packets\": " << spec.scenario.probe_packets << "},\n";
+  }
   if (dynamic) {
     const DynamicsSpec& dyn = spec.scenario.dynamics;
     os << "  \"axis\": \"" << sweep_axis_name(spec.scenario.sweep_axis)
@@ -280,6 +372,12 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
            << ",\n         \"stretch\": " << json_stats(p.stretch)
            << ",\n         \"readvertised\": " << json_stats(p.readvertised);
       }
+      if (faults) {
+        os << ",\n         \"delivery_ratio\": " << json_num(p.delivery_ratio())
+           << ", \"no_route_drops\": " << p.no_route_losses
+           << ", \"loop_drops\": " << p.loop_losses
+           << ", \"medium_drops\": " << p.medium_losses;
+      }
       if (p.control.measured()) {
         os << ",\n         \"control_plane\": {"
            << "\n           \"hello_msgs\": " << json_stats(p.control.hello_msgs)
@@ -292,8 +390,18 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
            << json_stats(p.control.control_bytes)
            << ",\n           \"convergence_time\": "
            << json_stats(p.control.convergence_time)
-           << ",\n           \"unconverged_runs\": " << p.control.unconverged
-           << "}";
+           << ",\n           \"unconverged_runs\": " << p.control.unconverged;
+        if (faults) {
+          os << ",\n           \"frames_lost\": "
+             << json_stats(p.control.frames_lost)
+             << ",\n           \"frames_blocked\": "
+             << json_stats(p.control.frames_blocked)
+             << ",\n           \"reconvergence_time\": "
+             << json_stats(p.control.reconvergence_time)
+             << ",\n           \"reconv_unconverged\": "
+             << p.control.reconv_unconverged;
+        }
+        os << "}";
       }
       os << "}";
     }
@@ -308,10 +416,16 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
           const RunRecord::Protocol& rp = r.protocols[si];
           os << (si ? ", " : "") << "{\"set_size\": " << fmt(rp.set_size)
              << ", \"delivered\": " << (rp.delivered ? "true" : "false");
-          if (rp.delivered)
+          if (rp.delivered || rp.probes_delivered > 0)
             os << ", \"value\": " << json_num(rp.value)
                << ", \"overhead\": " << json_num(rp.overhead)
                << ", \"hops\": " << rp.hops;
+          if (spec.backend == BackendId::kPacket)
+            os << ", \"convergence_time\": " << json_num(rp.convergence_time)
+               << ", \"converged\": " << (rp.converged ? "true" : "false")
+               << ", \"control_bytes\": " << fmt(rp.control_bytes)
+               << ", \"probes_delivered\": " << rp.probes_delivered
+               << ", \"probes_failed\": " << rp.probes_failed;
           os << "}";
         }
         os << "]}";

@@ -44,6 +44,19 @@ struct ControlPlaneStats {
   /// and the measurements were taken from not-yet-quiescent state. Any
   /// nonzero value flags the sweep point as suspect (all sinks emit it).
   std::size_t unconverged = 0;
+  // ---- fault-engine block (zero under a fault-free plan) ----------------
+  /// Control frames dropped by the Bernoulli loss gate per run — what the
+  /// protocol's re-flooding cost pays to overcome.
+  util::RunningStats frames_lost;
+  /// Frames suppressed by the up/down overlay (downed links, crashed
+  /// nodes, partitions) per run.
+  util::RunningStats frames_blocked;
+  /// Seconds from an injected incident to the network-wide state settling
+  /// again; one sample per scheduled FaultIncident per run.
+  util::RunningStats reconvergence_time;
+  /// Re-convergence attempts that hit the hard cap still changing — the
+  /// incident counterpart of `unconverged`.
+  std::size_t reconv_unconverged = 0;
 
   bool measured() const { return convergence_time.count() > 0; }
 
@@ -55,6 +68,10 @@ struct ControlPlaneStats {
     control_bytes.merge(other.control_bytes);
     convergence_time.merge(other.convergence_time);
     unconverged += other.unconverged;
+    frames_lost.merge(other.frames_lost);
+    frames_blocked.merge(other.frames_blocked);
+    reconvergence_time.merge(other.reconvergence_time);
+    reconv_unconverged += other.reconv_unconverged;
   }
 };
 
@@ -86,6 +103,14 @@ struct ProtocolStats {
   /// Measured control-plane cost (messages, bytes, duplicate suppression,
   /// convergence time) of disseminating this protocol's advertised state.
   ControlPlaneStats control;
+  /// Fate classification of failed probes under the fault engine: dropped
+  /// for lack of a route (a blackhole — soft state aged out or never
+  /// built), dropped by the TTL cap (a routing loop on inconsistent
+  /// knowledge), or lost on the medium itself (the Bernoulli gate ate a
+  /// data frame). Sums to `failed` in packet-backend static sweeps.
+  std::size_t no_route_losses = 0;
+  std::size_t loop_losses = 0;
+  std::size_t medium_losses = 0;
 
   /// Delivered fraction of attempted packets (0 when none were attempted)
   /// — the headline dynamics series, shared by every result emitter.
@@ -104,10 +129,16 @@ struct RunRecord {
   std::size_t nodes = 0;
   struct Protocol {
     double set_size = 0.0;   ///< mean |ANS| per node on this topology
-    bool delivered = false;
+    bool delivered = false;  ///< every probe of the run arrived
     double value = 0.0;      ///< routed QoS value (when delivered)
     double overhead = 0.0;   ///< vs. the centralized optimum (when delivered)
     std::size_t hops = 0;    ///< routed path length (when delivered)
+    // ---- packet-backend only (defaults under the oracle backend) --------
+    double convergence_time = 0.0;     ///< measured, this run
+    bool converged = true;             ///< quiescence confirmed before cap
+    double control_bytes = 0.0;        ///< control bytes to convergence
+    std::size_t probes_delivered = 0;  ///< of Scenario::probe_packets
+    std::size_t probes_failed = 0;
   };
   std::vector<Protocol> protocols;  ///< same order as DensityStats::protocols
 };
@@ -313,6 +344,9 @@ inline void merge_into(DensityStats& into, DensityStats& from) {
     a.path_hops.merge(b.path_hops);
     a.delivered += b.delivered;
     a.failed += b.failed;
+    a.no_route_losses += b.no_route_losses;
+    a.loop_losses += b.loop_losses;
+    a.medium_losses += b.medium_losses;
     a.stale_losses += b.stale_losses;
     a.stretch.merge(b.stretch);
     a.readvertised.merge(b.readvertised);

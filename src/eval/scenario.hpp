@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/deployment.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace qolsr {
 
@@ -109,18 +110,40 @@ struct Scenario {
   /// The mobility/churn epoch loop; disabled (static evaluation) unless a
   /// model is set. See DynamicsSpec.
   DynamicsSpec dynamics;
+  /// The fault-injection plan applied to every packet-backend run (ambient
+  /// Bernoulli frame loss, per-link loss overrides, and a schedule of
+  /// crash/flap/partition incidents injected after the measurement phase to
+  /// time re-convergence). Inactive by default — an inactive plan leaves
+  /// the packet backend byte-identical to the fault-free engine. Packet
+  /// backend only; the oracle has no frames to lose.
+  FaultPlan faults;
+  /// Data probes routed per (run, protocol) between the shared sampled
+  /// pair. 1 (the default) reproduces the classic single-packet
+  /// delivered/failed figure; lossy scenarios want more probes so the
+  /// delivery *ratio* per run resolves finer than {0, 1}.
+  std::size_t probe_packets = 1;
   /// What the values of `densities` mean. kDensity (default): mean node
   /// degree δ, the x-axis of Figs. 6-9. kSpeed (dynamics only): node speed
   /// in m/s — each sweep point fixes the waypoint model's speed_min =
   /// speed_max to the value while the deployment density stays
   /// `field.degree` (the x-axis of Fig. M, delivery ratio vs. speed).
-  enum class SweepAxis { kDensity, kSpeed };
+  /// kLoss (packet backend only): ambient frame-loss probability — each
+  /// sweep point sets `faults.loss_rate` to the value at fixed
+  /// `field.degree` density (the x-axis of figure R, delivery vs. loss).
+  enum class SweepAxis { kDensity, kSpeed, kLoss };
   SweepAxis sweep_axis = SweepAxis::kDensity;
 };
 
 /// Column label of the sweep axis in emitted results.
 inline const char* sweep_axis_name(Scenario::SweepAxis axis) {
-  return axis == Scenario::SweepAxis::kSpeed ? "speed" : "density";
+  switch (axis) {
+    case Scenario::SweepAxis::kSpeed:
+      return "speed";
+    case Scenario::SweepAxis::kLoss:
+      return "loss";
+    default:
+      return "density";
+  }
 }
 
 /// Densities used by the bandwidth figures (6 and 8).

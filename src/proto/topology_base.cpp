@@ -28,9 +28,14 @@ void TopologyBase::expire(double now) {
 }
 
 Graph TopologyBase::to_graph(std::size_t node_count) const {
+  return to_graph(node_count, -std::numeric_limits<double>::infinity());
+}
+
+Graph TopologyBase::to_graph(std::size_t node_count, double now) const {
   Graph graph(node_count);
   for (const auto& [originator, entry] : entries_) {
     if (originator >= node_count) continue;
+    if (entry.expires < now) continue;  // held but already invalid
     for (const LinkAdvert& a : entry.advertised) {
       if (a.neighbor >= node_count) continue;
       if (!graph.has_edge(originator, a.neighbor))

@@ -31,6 +31,14 @@ class TopologyBase {
   /// with the local view.
   Graph to_graph(std::size_t node_count) const;
 
+  /// Validity-aware form (RFC 3626 soft state): entries whose hold time
+  /// has passed by `now` are excluded even when the periodic purge has not
+  /// run yet — what a node should route on between expiry sweeps. With a
+  /// healthy control plane every entry is continually refreshed and both
+  /// forms agree; under loss or crash faults this is where stale links
+  /// disappear first.
+  Graph to_graph(std::size_t node_count, double now) const;
+
   /// Live advertised set of one originator (empty when unknown).
   std::vector<NodeId> advertised_of(NodeId originator) const;
 

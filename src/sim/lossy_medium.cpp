@@ -1,0 +1,120 @@
+#include "sim/lossy_medium.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace qolsr {
+
+namespace {
+/// Domain-separates the loss stream from the node RNGs and the fault
+/// (victim-drawing) stream, all of which derive from the same run seed.
+constexpr std::uint64_t kLossStreamSalt = 0xa5a5a5a5a5a5a5a5ULL;
+}  // namespace
+
+void LossyMedium::reset(const FaultPlan* plan, std::uint64_t seed) {
+  plan_ = plan;
+  rng_ = util::Rng(seed ^ kLossStreamSalt);
+  node_down_.assign(node_count(), 0);
+  down_nodes_ = 0;
+  down_links_.clear();
+  link_loss_.clear();
+  partitions_ = 0;
+  ambient_loss_ = false;
+  if (plan_ != nullptr) {
+    ambient_loss_ = plan_->loss_rate > 0.0;
+    for (const LinkLossSpec& l : plan_->link_loss) {
+      link_loss_[link_key(l.u, l.v)] = l.rate;
+      ambient_loss_ = ambient_loss_ || l.rate > 0.0;
+    }
+  }
+}
+
+void LossyMedium::set_link_down(NodeId u, NodeId v, bool down) {
+  if (down) {
+    down_links_.insert(link_key(u, v));
+  } else {
+    down_links_.erase(link_key(u, v));
+  }
+}
+
+void LossyMedium::set_node_down(NodeId id, bool down) {
+  if (id >= node_down_.size()) node_down_.resize(id + 1, 0);
+  if (node_down_[id] == static_cast<char>(down ? 1 : 0)) return;
+  node_down_[id] = down ? 1 : 0;
+  down_nodes_ += down ? 1 : -1;
+}
+
+bool LossyMedium::blocked(NodeId from, NodeId to) const {
+  if (node_down(from) || node_down(to)) return true;
+  if (!down_links_.empty() && link_down(from, to)) return true;
+  if (partitions_ > 0) {
+    const NodeId half = static_cast<NodeId>(node_count() / 2);
+    if ((from < half) != (to < half)) return true;
+  }
+  return false;
+}
+
+bool LossyMedium::lost(NodeId from, NodeId to) {
+  if (!ambient_loss_) return false;
+  double rate = plan_ != nullptr ? plan_->loss_rate : 0.0;
+  if (!link_loss_.empty()) {
+    const auto it = link_loss_.find(link_key(from, to));
+    if (it != link_loss_.end()) rate = it->second;
+  }
+  if (rate <= 0.0) return false;
+  return rate >= 1.0 || rng_.uniform01() < rate;
+}
+
+SimTime LossyMedium::now() const { return sim_->queue().now(); }
+
+void LossyMedium::schedule_in(SimTime delay, std::function<void()> callback) {
+  sim_->queue().schedule_in(delay, std::move(callback));
+}
+
+const LinkQos* LossyMedium::measured_qos(NodeId a, NodeId b) const {
+  // Link-quality *measurement* is outside the paper's scope (the ideal-MAC
+  // assumption): nodes read the true value even on a lossy link. Loss
+  // degrades what they learn by dropping the frames that carry it.
+  return sim_->network().edge_qos(a, b);
+}
+
+std::size_t LossyMedium::node_count() const {
+  return sim_->network().node_count();
+}
+
+void LossyMedium::broadcast(NodeId from, SharedBytes bytes) {
+  // The fan-out iterates ground-truth neighbors in sorted order whether or
+  // not faults are active, so the gate draws (and the event sequence) are
+  // deterministic — and with no fault source active the loop is exactly
+  // the ideal medium's.
+  const bool clean = !impaired();
+  for (const Edge& e : sim_->network().neighbors(from)) {
+    if (!clean) {
+      if (blocked(from, e.to)) {
+        trace_->frames_blocked += 1;
+        continue;
+      }
+      if (lost(from, e.to)) {
+        trace_->frames_lost += 1;
+        continue;
+      }
+    }
+    sim_->deliver(from, e.to, bytes);
+  }
+}
+
+void LossyMedium::unicast(NodeId from, NodeId to, SharedBytes bytes) {
+  if (!sim_->network().has_edge(from, to)) return;  // out of range: lost
+  if (impaired()) {
+    if (blocked(from, to)) {
+      trace_->frames_blocked += 1;
+      return;
+    }
+    if (lost(from, to)) {
+      trace_->frames_lost += 1;
+      return;
+    }
+  }
+  sim_->deliver(from, to, std::move(bytes));
+}
+
+}  // namespace qolsr

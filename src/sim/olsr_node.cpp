@@ -39,6 +39,19 @@ void OlsrNode::reset(const AnsSelector& flooding_selector,
   ansn_ = 0;
   last_advertised_.clear();
   next_sequence_ = 0;
+  alive_ = true;
+}
+
+void OlsrNode::crash() {
+  alive_ = false;
+  // All soft state is gone; ansn_ and next_sequence_ deliberately survive
+  // (see the header — the RFC's stable-storage assumption).
+  tables_ = NeighborTables(id_, config_.neighbor_hold);
+  topology_ = TopologyBase(config_.topology_hold);
+  duplicates_.clear();
+  flooding_mpr_.clear();
+  ans_.clear();
+  last_advertised_.clear();
 }
 
 void OlsrNode::start() {
@@ -81,22 +94,26 @@ void OlsrNode::recompute_selection() {
 }
 
 void OlsrNode::hello_tick() {
-  const double now = medium_.now();
-  tables_.expire(now);
-  recompute_selection();
+  // A crashed node's timer wheel keeps spinning (the reschedule below and
+  // its jitter draw happen regardless), but the protocol body is skipped.
+  if (alive_) {
+    const double now = medium_.now();
+    tables_.expire(now);
+    recompute_selection();
 
-  HelloMessage hello;
-  hello.originator = id_;
-  hello.links = build_hello_links();
-  PacketHeader header;
-  header.type = MessageType::kHello;
-  header.originator = id_;
-  header.sequence = next_sequence_++;
-  header.ttl = 1;  // HELLOs are never forwarded
-  auto bytes = make_shared_bytes(serialize(header, hello));
-  trace_.hello_sent += 1;
-  trace_.control_bytes += bytes->size();
-  medium_.broadcast(id_, std::move(bytes));
+    HelloMessage hello;
+    hello.originator = id_;
+    hello.links = build_hello_links();
+    PacketHeader header;
+    header.type = MessageType::kHello;
+    header.originator = id_;
+    header.sequence = next_sequence_++;
+    header.ttl = 1;  // HELLOs are never forwarded
+    auto bytes = make_shared_bytes(serialize(header, hello));
+    trace_.hello_sent += 1;
+    trace_.control_bytes += bytes->size();
+    medium_.broadcast(id_, std::move(bytes));
+  }
 
   medium_.schedule_in(config_.hello_interval +
                           rng_.uniform(0.0, config_.jitter),
@@ -104,9 +121,16 @@ void OlsrNode::hello_tick() {
 }
 
 void OlsrNode::tc_tick() {
+  if (!alive_) {
+    medium_.schedule_in(config_.tc_interval +
+                            rng_.uniform(0.0, config_.jitter),
+                        [this] { tc_tick(); });
+    return;
+  }
   const double now = medium_.now();
   tables_.expire(now);
   topology_.expire(now);
+  duplicates_.expire(now);
   recompute_selection();
 
   if (!ans_.empty()) {
@@ -138,6 +162,9 @@ void OlsrNode::tc_tick() {
 }
 
 void OlsrNode::on_receive(NodeId from, const std::vector<std::byte>& bytes) {
+  // A frame scheduled before we crashed can still land afterwards (the
+  // propagation delay); a dead node hears nothing.
+  if (!alive_) return;
   const auto packet = parse_packet(bytes);
   if (!packet.has_value()) {
     QOLSR_LOG(kWarn) << "node " << id_ << ": malformed packet from " << from;
@@ -215,6 +242,7 @@ void OlsrNode::handle_data(PacketHeader header, const DataMessage& data) {
   }
   if (header.ttl <= 1) {
     trace_.data_dropped += 1;
+    mark_drop(data.payload_id, TraceStats::Journey::Drop::kTtl);
     return;
   }
   header.ttl -= 1;
@@ -228,17 +256,30 @@ void OlsrNode::forward_or_deliver(PacketHeader header,
   const Graph knowledge = knowledge_graph();
   if (data.destination >= knowledge.node_count()) {
     trace_.data_dropped += 1;
+    mark_drop(data.payload_id, TraceStats::Journey::Drop::kNoRoute);
     return;
   }
   const NodeId next = (*route_fn_)(knowledge, id_, data.destination);
   if (next == kInvalidNode) {
     trace_.data_dropped += 1;
+    mark_drop(data.payload_id, TraceStats::Journey::Drop::kNoRoute);
     return;
   }
   medium_.unicast(id_, next, make_shared_bytes(serialize(header, data)));
 }
 
+void OlsrNode::mark_drop(std::uint32_t payload_id,
+                         TraceStats::Journey::Drop reason) {
+  const auto it = trace_.journeys.find(payload_id);
+  if (it != trace_.journeys.end() &&
+      it->second.drop == TraceStats::Journey::Drop::kNone)
+    it->second.drop = reason;
+}
+
 std::uint64_t OlsrNode::state_digest(std::uint64_t h) const {
+  // The alive bit makes a crash (and a restart of an otherwise-empty
+  // node) visible to the convergence detector.
+  h = util::digest_mix(h, alive_ ? 1u : 0u);
   for (NodeId n : flooding_mpr_) h = util::digest_mix(h, n);
   h = util::digest_mix(h, flooding_mpr_.size());
   for (NodeId n : ans_) h = util::digest_mix(h, n);
@@ -250,8 +291,12 @@ std::uint64_t OlsrNode::state_digest(std::uint64_t h) const {
 Graph OlsrNode::knowledge_graph() const {
   // TC-advertised topology plus our own symmetric links. Deliberately NOT
   // the full 2-hop view: heterogeneous per-hop knowledge makes QoS
-  // hop-by-hop forwarding loop (see routing/forwarding.hpp).
-  Graph knowledge = topology_.to_graph(medium_.node_count());
+  // hop-by-hop forwarding loop (see routing/forwarding.hpp). Validity-
+  // aware read: an entry past its hold time is dead for routing even if
+  // the next TC tick has not purged it yet — under loss that window is
+  // where blackholes hide.
+  Graph knowledge =
+      topology_.to_graph(medium_.node_count(), medium_.now());
   for (NodeId neighbor : tables_.symmetric_neighbors()) {
     const LinkQos* qos = tables_.link_qos(neighbor);
     if (qos != nullptr && neighbor < knowledge.node_count() &&

@@ -74,6 +74,19 @@ class OlsrNode {
   /// Schedules the first HELLO and TC (with per-node jitter).
   void start();
 
+  /// Crash-fault semantics (driven by Simulator::inject): a crashed node
+  /// loses all protocol soft state — neighbor tables, topology base,
+  /// duplicate set, selections — and goes silent; its timer wheel keeps
+  /// ticking (drawing the same jitter stream, so a crash never perturbs
+  /// the run's RNG sequencing) but every tick body and reception is
+  /// skipped until restart. The message sequence counters survive, the
+  /// RFC's "stable storage" assumption: a restarted node's first TC must
+  /// not be rejected as stale by neighbors still holding its pre-crash
+  /// ANSN and duplicate-set entries.
+  void crash();
+  void restart() { alive_ = true; }
+  bool alive() const { return alive_; }
+
   /// MAC upcall for any packet addressed to or overheard by this node.
   void on_receive(NodeId from, const std::vector<std::byte>& bytes);
 
@@ -106,6 +119,7 @@ class OlsrNode {
                  NodeId from);
   void handle_data(PacketHeader header, const DataMessage& data);
   void forward_or_deliver(PacketHeader header, const DataMessage& data);
+  void mark_drop(std::uint32_t payload_id, TraceStats::Journey::Drop reason);
 
   NodeId id_;
   Medium& medium_;
@@ -124,6 +138,7 @@ class OlsrNode {
   std::uint16_t ansn_ = 0;
   std::vector<NodeId> last_advertised_;
   std::uint16_t next_sequence_ = 0;
+  bool alive_ = true;  ///< false between crash() and restart()
 };
 
 }  // namespace qolsr

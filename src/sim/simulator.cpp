@@ -1,32 +1,44 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/digest.hpp"
 
 namespace qolsr {
 
-Simulator::Simulator(Graph graph, const AnsSelector& flooding_selector,
+namespace {
+/// Domain-separates the incident-victim stream from the node RNGs and the
+/// LossyMedium's loss stream (all derive from the same run seed).
+constexpr std::uint64_t kFaultStreamSalt = 0xc2b2ae3d27d4eb4fULL;
+}  // namespace
+
+Simulator::Simulator(const Graph& graph, const AnsSelector& flooding_selector,
                      const AnsSelector& ans_selector,
-                     OlsrNode::RouteFn route_fn, SimConfig config)
-    : config_(config) {
-  reset(std::move(graph), flooding_selector, ans_selector,
-        std::move(route_fn), config.seed);
+                     OlsrNode::RouteFn route_fn, SimConfig config,
+                     const FaultPlan* faults)
+    : config_(config), lossy_(*this, trace_) {
+  reset(graph, flooding_selector, ans_selector, std::move(route_fn),
+        config.seed, faults);
 }
 
-void Simulator::reset(Graph graph, const AnsSelector& flooding_selector,
+void Simulator::reset(const Graph& graph,
+                      const AnsSelector& flooding_selector,
                       const AnsSelector& ans_selector,
-                      OlsrNode::RouteFn route_fn, std::uint64_t seed) {
+                      OlsrNode::RouteFn route_fn, std::uint64_t seed,
+                      const FaultPlan* faults) {
   // The queued callbacks capture node pointers from the previous run; drop
   // them before touching the node vector.
   queue_.reset();
-  graph_ = std::move(graph);
+  graph_ = &graph;
   config_.seed = seed;
   trace_ = TraceStats{};
   trace_at_convergence_ = TraceStats{};
+  lossy_.reset(faults, seed);
+  fault_rng_ = util::Rng(seed ^ kFaultStreamSalt);
   route_fn_ = std::move(route_fn);
 
-  const std::size_t n = graph_.node_count();
+  const std::size_t n = graph.node_count();
   if (nodes_.size() > n) nodes_.resize(n);
   for (std::size_t id = 0; id < nodes_.size(); ++id)
     nodes_[id]->reset(flooding_selector, ans_selector, route_fn_,
@@ -34,7 +46,7 @@ void Simulator::reset(Graph graph, const AnsSelector& flooding_selector,
   nodes_.reserve(n);
   while (nodes_.size() < n)
     nodes_.push_back(std::make_unique<OlsrNode>(
-        static_cast<NodeId>(nodes_.size()), *this, trace_, flooding_selector,
+        static_cast<NodeId>(nodes_.size()), lossy_, trace_, flooding_selector,
         ans_selector, route_fn_, config_.node, seed));
   for (auto& node : nodes_) node->start();
 }
@@ -42,14 +54,17 @@ void Simulator::reset(Graph graph, const AnsSelector& flooding_selector,
 ConvergenceReport Simulator::run_to_convergence() {
   const double step = config_.derived_convergence_step();
   const double dwell = config_.derived_convergence_dwell();
-  const double cap = config_.derived_max_sim_time();
+  // The cap is a *budget from now*, not an absolute clock value: a second
+  // call — measuring re-convergence after an injected fault — gets the
+  // same observation window as the first.
+  const double deadline = now() + config_.derived_max_sim_time();
 
   ConvergenceReport report;
   std::uint64_t digest = state_digest();
   report.converged_at = now();
   trace_at_convergence_ = trace_;
-  while (now() < cap) {
-    run_until(std::min(now() + step, cap));
+  while (now() < deadline) {
+    run_until(std::min(now() + step, deadline));
     const std::uint64_t next = state_digest();
     if (next != digest) {
       digest = next;
@@ -70,20 +85,89 @@ std::uint64_t Simulator::state_digest() const {
   return h;
 }
 
-void Simulator::broadcast(NodeId from, SharedBytes bytes) {
-  // Ideal MAC: every in-range node receives the same intact buffer after
-  // the propagation delay — one immutable allocation shared across the
-  // whole fan-out, never a per-neighbor copy.
-  for (const Edge& e : graph_.neighbors(from)) {
-    const NodeId to = e.to;
-    queue_.schedule_in(config_.propagation_delay, [this, from, to, bytes] {
-      nodes_[to]->on_receive(from, *bytes);
-    });
+bool Simulator::fail_link(NodeId u, NodeId v) {
+  if (graph_ == nullptr || !graph_->has_edge(u, v) || lossy_.link_down(u, v))
+    return false;
+  lossy_.set_link_down(u, v, true);
+  return true;
+}
+
+void Simulator::inject(const FaultIncident& incident) {
+  switch (incident.kind) {
+    case FaultIncident::Kind::kNodeCrash: {
+      std::vector<NodeId> victims;
+      if (incident.node != kInvalidNode) {
+        if (incident.node < nodes_.size()) victims.push_back(incident.node);
+      } else {
+        // Partial Fisher–Yates over the currently-alive nodes: distinct
+        // victims, bounded work, one RNG draw per victim.
+        std::vector<NodeId> alive;
+        for (NodeId u = 0; u < nodes_.size(); ++u)
+          if (!lossy_.node_down(u)) alive.push_back(u);
+        const std::size_t want = std::min(incident.count, alive.size());
+        for (std::size_t i = 0; i < want; ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(
+                      fault_rng_.uniform_int(alive.size() - i));
+          std::swap(alive[i], alive[j]);
+          victims.push_back(alive[i]);
+        }
+      }
+      for (NodeId v : victims) {
+        lossy_.set_node_down(v, true);
+        nodes_[v]->crash();
+      }
+      if (incident.duration > 0.0 && !victims.empty())
+        queue_.schedule_in(incident.duration, [this, victims] {
+          for (NodeId v : victims) {
+            lossy_.set_node_down(v, false);
+            nodes_[v]->restart();
+          }
+        });
+      break;
+    }
+    case FaultIncident::Kind::kLinkFlap: {
+      std::vector<std::pair<NodeId, NodeId>> victims;
+      if (incident.link_u != kInvalidNode && incident.link_v != kInvalidNode) {
+        if (graph_->has_edge(incident.link_u, incident.link_v) &&
+            !lossy_.link_down(incident.link_u, incident.link_v))
+          victims.emplace_back(incident.link_u, incident.link_v);
+      } else {
+        std::vector<std::pair<NodeId, NodeId>> up;
+        for (NodeId u = 0; u < graph_->node_count(); ++u)
+          for (const Edge& e : graph_->neighbors(u))
+            if (u < e.to && !lossy_.link_down(u, e.to))
+              up.emplace_back(u, e.to);
+        const std::size_t want = std::min(incident.count, up.size());
+        for (std::size_t i = 0; i < want; ++i) {
+          const std::size_t j =
+              i + static_cast<std::size_t>(
+                      fault_rng_.uniform_int(up.size() - i));
+          std::swap(up[i], up[j]);
+          victims.push_back(up[i]);
+        }
+      }
+      for (const auto& [u, v] : victims) lossy_.set_link_down(u, v, true);
+      if (incident.duration > 0.0 && !victims.empty())
+        queue_.schedule_in(incident.duration, [this, victims] {
+          for (const auto& [u, v] : victims) lossy_.set_link_down(u, v, false);
+        });
+      break;
+    }
+    case FaultIncident::Kind::kPartition: {
+      lossy_.add_partition(1);
+      if (incident.duration > 0.0)
+        queue_.schedule_in(incident.duration,
+                           [this] { lossy_.add_partition(-1); });
+      break;
+    }
   }
 }
 
-void Simulator::unicast(NodeId from, NodeId to, SharedBytes bytes) {
-  if (!graph_.has_edge(from, to)) return;  // next hop out of range: lost
+void Simulator::deliver(NodeId from, NodeId to, SharedBytes bytes) {
+  // Ideal MAC: the receiver gets the same intact buffer after the
+  // propagation delay — one immutable allocation shared across a whole
+  // broadcast fan-out, never a per-neighbor copy.
   queue_.schedule_in(config_.propagation_delay,
                      [this, from, to, bytes = std::move(bytes)] {
                        nodes_[to]->on_receive(from, *bytes);

@@ -5,9 +5,12 @@
 
 #include "graph/graph.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/lossy_medium.hpp"
 #include "sim/medium.hpp"
 #include "sim/olsr_node.hpp"
 #include "sim/trace.hpp"
+#include "util/rng.hpp"
 
 namespace qolsr {
 
@@ -73,23 +76,38 @@ struct ConvergenceReport {
 /// Batch use: default-construct once, then per run `reset(...)` +
 /// `run_to_convergence()` — the node objects, queue and trace are reused
 /// instead of being reallocated per run.
+///
+/// Faults never touch the ground truth: the graph is *borrowed* const (it
+/// must outlive the simulator's use, i.e. stay alive until the next
+/// reset), and everything adverse — Bernoulli frame loss, link flaps,
+/// node crashes, partitions — lives in the LossyMedium overlay the nodes
+/// transmit through. An optional FaultPlan (also borrowed) seeds the
+/// ambient loss; discrete incidents are injected mid-run via `inject`.
 class Simulator final : public Medium {
  public:
   /// An empty simulator (no nodes); bring it to life with `reset`.
-  Simulator() = default;
+  Simulator() : lossy_(*this, trace_) {}
 
-  Simulator(Graph graph, const AnsSelector& flooding_selector,
+  Simulator(const Graph& graph, const AnsSelector& flooding_selector,
             const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
-            SimConfig config = {});
+            SimConfig config = {}, const FaultPlan* faults = nullptr);
+  /// The graph is borrowed — a temporary would dangle.
+  Simulator(Graph&& graph, const AnsSelector& flooding_selector,
+            const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
+            SimConfig config = {}, const FaultPlan* faults = nullptr) = delete;
 
   /// The seed-driven batch-run entry point: rewinds the clock, drops every
   /// pending event and trace counter, installs the new ground truth and
-  /// heuristics, and restarts every node. A reset simulator behaves
-  /// identically to a freshly constructed one with `config.seed = seed`;
-  /// node objects surviving from the previous run are reused.
-  void reset(Graph graph, const AnsSelector& flooding_selector,
+  /// heuristics (and the run's fault plan, if any), and restarts every
+  /// node. A reset simulator behaves identically to a freshly constructed
+  /// one with `config.seed = seed`; node objects surviving from the
+  /// previous run are reused.
+  void reset(const Graph& graph, const AnsSelector& flooding_selector,
              const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
-             std::uint64_t seed);
+             std::uint64_t seed, const FaultPlan* faults = nullptr);
+  void reset(Graph&& graph, const AnsSelector& flooding_selector,
+             const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
+             std::uint64_t seed, const FaultPlan* faults = nullptr) = delete;
 
   /// Advances the simulation clock.
   void run_until(SimTime horizon) { queue_.run_until(horizon); }
@@ -101,15 +119,28 @@ class Simulator final : public Medium {
   /// fixed horizon.
   ConvergenceReport run_to_convergence();
 
-  /// Failure injection: removes the radio link (u,v) from the ground-truth
-  /// topology. HELLOs stop crossing it, so both ends' neighbor entries
-  /// expire within the hold time and the control plane re-converges around
-  /// the failure. Returns false when no such link exists.
-  bool fail_link(NodeId u, NodeId v) { return graph_.remove_edge(u, v); }
+  /// Failure injection: takes the radio link (u,v) down in the fault
+  /// overlay (the ground-truth graph is untouched — it is borrowed const).
+  /// HELLOs stop crossing it, so both ends' neighbor entries expire within
+  /// the hold time and the control plane re-converges around the failure.
+  /// Returns false when no such link exists or it is already down.
+  bool fail_link(NodeId u, NodeId v);
+
+  /// Applies one FaultIncident now: crashes nodes (their soft state is
+  /// gone; sequence counters survive as "stable storage"), takes links
+  /// down, or splits the network at the id-halves boundary. Random victims
+  /// are drawn from the per-run fault RNG stream; a positive duration
+  /// schedules the heal (restart / link up / merge) on the event queue.
+  /// Callers measure re-convergence by timing run_to_convergence from the
+  /// injection instant.
+  void inject(const FaultIncident& incident);
+
+  /// The fault overlay (inspection; tests assert on blocked/lost frames).
+  const LossyMedium& faults() const { return lossy_; }
 
   OlsrNode& node(NodeId id) { return *nodes_[id]; }
   const OlsrNode& node(NodeId id) const { return *nodes_[id]; }
-  const Graph& network() const { return graph_; }
+  const Graph& network() const { return *graph_; }
   const TraceStats& trace() const { return trace_; }
   /// The trace counters as of ConvergenceReport::converged_at — snapshotted
   /// by run_to_convergence at the last observed state change, so
@@ -127,24 +158,38 @@ class Simulator final : public Medium {
   /// converged-state snapshot changed.
   std::uint64_t state_digest() const;
 
-  // -- Medium --
+  /// Schedules the delivery of one frame after the propagation delay —
+  /// the ideal-MAC core the LossyMedium decorator forwards surviving
+  /// frames to.
+  void deliver(NodeId from, NodeId to, SharedBytes bytes);
+
+  // -- Medium (delegates through the fault layer, so direct use of the
+  // simulator as a Medium sees the same lossy world the nodes do) --
   SimTime now() const override { return queue_.now(); }
   void schedule_in(SimTime delay, std::function<void()> callback) override {
     queue_.schedule_in(delay, std::move(callback));
   }
-  void broadcast(NodeId from, SharedBytes bytes) override;
-  void unicast(NodeId from, NodeId to, SharedBytes bytes) override;
-  const LinkQos* measured_qos(NodeId a, NodeId b) const override {
-    return graph_.edge_qos(a, b);
+  void broadcast(NodeId from, SharedBytes bytes) override {
+    lossy_.broadcast(from, std::move(bytes));
   }
-  std::size_t node_count() const override { return graph_.node_count(); }
+  void unicast(NodeId from, NodeId to, SharedBytes bytes) override {
+    lossy_.unicast(from, to, std::move(bytes));
+  }
+  const LinkQos* measured_qos(NodeId a, NodeId b) const override {
+    return graph_->edge_qos(a, b);
+  }
+  std::size_t node_count() const override {
+    return graph_ != nullptr ? graph_->node_count() : 0;
+  }
 
  private:
-  Graph graph_;
+  const Graph* graph_ = nullptr;  ///< borrowed; alive until the next reset
   SimConfig config_;
   EventQueue queue_;
   TraceStats trace_;
   TraceStats trace_at_convergence_;  ///< see trace_at_convergence()
+  LossyMedium lossy_;           ///< the Medium the nodes transmit through
+  util::Rng fault_rng_{1};      ///< victim draws for random incidents
   OlsrNode::RouteFn route_fn_;  ///< shared by all nodes (they borrow it)
   std::vector<std::unique_ptr<OlsrNode>> nodes_;
 };

@@ -22,12 +22,27 @@ struct TraceStats {
   std::uint64_t data_forwarded = 0;
   std::uint64_t data_delivered = 0;
   std::uint64_t data_dropped = 0;
+  // ---- fault layer (LossyMedium; zero on an unimpaired medium) ----------
+  /// Frame deliveries dropped by the Bernoulli loss gate.
+  std::uint64_t frames_lost = 0;
+  /// Frame deliveries suppressed by the up/down overlay (crashed node,
+  /// downed link, active partition).
+  std::uint64_t frames_blocked = 0;
 
   /// Journey of one data packet, keyed by payload id.
   struct Journey {
+    /// Why an undelivered packet died, recorded by the node that dropped
+    /// it. A journey that is neither delivered nor marked was lost in the
+    /// medium (Bernoulli loss or a fault-blocked hop) mid-flight.
+    enum class Drop : std::uint8_t {
+      kNone,     ///< still in flight (or delivered)
+      kNoRoute,  ///< a hop's knowledge graph had no route (blackhole)
+      kTtl,      ///< hop limit exhausted (routing loop / overlong path)
+    };
     NodeId source = kInvalidNode;
     NodeId destination = kInvalidNode;
     bool delivered = false;
+    Drop drop = Drop::kNone;
     std::vector<NodeId> path;  ///< nodes traversed, starting at the source
   };
   std::unordered_map<std::uint32_t, Journey> journeys;

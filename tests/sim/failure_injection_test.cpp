@@ -32,6 +32,21 @@ TEST(FailureInjection, NeighborEntriesExpireAfterLinkFailure) {
   EXPECT_FALSE(sim.node(Fig1::v6).tables().is_symmetric(Fig1::v1));
 }
 
+TEST(FailureInjection, FailLinkLeavesGroundTruthIntact) {
+  // Failures live in the fault overlay; the borrowed ground-truth graph is
+  // const and must still show the edge after the radio link "dies".
+  const Graph g = Fig1::build();
+  const Rfc3626Selector flooding;
+  const FnbpSelector<BandwidthMetric> ans;
+  Simulator sim(g, flooding, ans, bandwidth_routes());
+  ASSERT_TRUE(sim.fail_link(Fig1::v1, Fig1::v6));
+  EXPECT_TRUE(sim.network().has_edge(Fig1::v1, Fig1::v6));
+  EXPECT_TRUE(g.has_edge(Fig1::v1, Fig1::v6));
+  EXPECT_TRUE(sim.faults().link_down(Fig1::v1, Fig1::v6));
+  // The simulator borrows, it does not copy: same object.
+  EXPECT_EQ(&sim.network(), &g);
+}
+
 TEST(FailureInjection, FailLinkRejectsUnknownLink) {
   const Graph g = Fig1::build();
   const Rfc3626Selector flooding;

@@ -24,7 +24,7 @@
 namespace {
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: qolsr_eval [--figure=6|7|8|9|M] [flags]\n"
+  os << "usage: qolsr_eval [--figure=6|7|8|9|M|R] [flags]\n"
      << "\n"
      << "Runs one declarative experiment (a density sweep of ANS selection\n"
      << "heuristics under a QoS metric) and emits per-density aggregates.\n"
@@ -38,7 +38,11 @@ int usage(std::ostream& os, int exit_code) {
      << "mobility figure: delivery ratio vs. node speed under random-\n"
      << "waypoint motion with a 5-epoch TC refresh lag, all five\n"
      << "selectors (pair with --mobility/--epochs/--speed/--refresh to\n"
-     << "customize).\n"
+     << "customize). --figure=R is the robustness figure: delivery ratio\n"
+     << "vs. ambient frame-loss probability on the packet backend, eight\n"
+     << "probes per run, failure fates classified, plus a scheduled\n"
+     << "single-node crash whose re-convergence is timed (pair with\n"
+     << "--loss/--crash/--flap/--partition/--probes to customize).\n"
      << "\n"
      << qolsr::experiment_flags_help()
      << "  --list-metrics        print metric names and exit\n"
@@ -71,6 +75,10 @@ int main(int argc, char** argv) {
       const std::string value = arg.substr(9);
       if (value == "M" || value == "m") {
         base = figure_m_spec(FigureConfig{});
+        continue;
+      }
+      if (value == "R" || value == "r") {
+        base = figure_r_spec(FigureConfig{});
         continue;
       }
       int figure = 0;
