@@ -97,6 +97,52 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   if (spec.scenario.probe_packets != 1 && spec.backend != BackendId::kPacket)
     throw ExperimentError("experiment '" + spec.name +
                           "': --probes is a packet-backend knob");
+  const TrafficSpec& traffic = spec.scenario.traffic;
+  if (traffic.arrival != TrafficSpec::Arrival::kNone &&
+      spec.backend != BackendId::kPacket)
+    throw ExperimentError("experiment '" + spec.name +
+                          "': traffic workloads (--traffic/--flows/--load/"
+                          "--pattern) need --backend=packet (the oracle has "
+                          "no medium to load)");
+  if (traffic.arrival != TrafficSpec::Arrival::kNone) {
+    if (traffic.load < 0.0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': --load must be >= 0 (0 = no traffic)");
+    if (traffic.packet_rate <= 0.0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': --traffic-rate must be > 0 packets/s");
+    if (traffic.duration <= 0.0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': --traffic-duration must be > 0 seconds");
+    if (traffic.link_capacity <= 0.0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': --capacity must be > 0 bytes/s");
+    if (traffic.queue_bytes == 0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': --queue-bytes must be > 0");
+    if (traffic.arrival == TrafficSpec::Arrival::kPareto &&
+        traffic.pareto_shape <= 1.0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': --pareto-shape must be > 1 (the mean "
+                            "inter-arrival must exist)");
+    if (traffic.pattern == TrafficSpec::Pattern::kHotspot &&
+        traffic.hotspots == 0)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': --hotspots must be >= 1");
+  }
+  if (spec.scenario.sweep_axis == Scenario::SweepAxis::kLoad) {
+    if (spec.backend != BackendId::kPacket)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': the load axis needs --backend=packet");
+    if (traffic.arrival == TrafficSpec::Arrival::kNone)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': the load axis needs a traffic process "
+                            "(--traffic=poisson|cbr|pareto)");
+    for (const double load : spec.scenario.densities)
+      if (load < 0.0)
+        throw ExperimentError("experiment '" + spec.name +
+                              "': load sweep values must be >= 0");
+  }
   const DynamicsSpec& dynamics = spec.scenario.dynamics;
   if (spec.scenario.sweep_axis == Scenario::SweepAxis::kSpeed) {
     if (dynamics.model != DynamicsSpec::Model::kWaypoint)
@@ -293,17 +339,11 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
     } else if (flag == "--refresh") {
       spec.scenario.dynamics.refresh_interval = parse_uint(flag, value);
     } else if (flag == "--axis") {
-      if (value == "density") {
-        spec.scenario.sweep_axis = Scenario::SweepAxis::kDensity;
-      } else if (value == "speed") {
-        spec.scenario.sweep_axis = Scenario::SweepAxis::kSpeed;
-      } else if (value == "loss") {
-        spec.scenario.sweep_axis = Scenario::SweepAxis::kLoss;
-      } else {
-        throw ExperimentError(
-            "flag --axis: expected density|speed|loss, got '" +
-            std::string(value) + "'");
-      }
+      // One shared table (kSweepAxes) drives parsing, the error text and
+      // the emitted column label — adding an axis is one row there.
+      if (!parse_sweep_axis(std::string(value), spec.scenario.sweep_axis))
+        throw ExperimentError("flag --axis: expected " + sweep_axis_names() +
+                              ", got '" + std::string(value) + "'");
     } else if (flag == "--loss") {
       spec.scenario.faults.loss_rate = parse_double(flag, value);
     } else if (flag == "--probes") {
@@ -325,6 +365,52 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
       incident.kind = FaultIncident::Kind::kPartition;
       incident.duration = parse_double(flag, value);
       spec.scenario.faults.incidents.push_back(incident);
+    } else if (flag == "--traffic") {
+      TrafficSpec& traffic = spec.scenario.traffic;
+      if (value == "none") {
+        traffic.arrival = TrafficSpec::Arrival::kNone;
+      } else if (value == "poisson") {
+        traffic.arrival = TrafficSpec::Arrival::kPoisson;
+      } else if (value == "cbr") {
+        traffic.arrival = TrafficSpec::Arrival::kCbr;
+      } else if (value == "pareto") {
+        traffic.arrival = TrafficSpec::Arrival::kPareto;
+      } else {
+        throw ExperimentError(
+            "flag --traffic: expected none|poisson|cbr|pareto, got '" +
+            std::string(value) + "'");
+      }
+    } else if (flag == "--pattern") {
+      TrafficSpec& traffic = spec.scenario.traffic;
+      if (value == "uniform") {
+        traffic.pattern = TrafficSpec::Pattern::kUniform;
+      } else if (value == "hotspot") {
+        traffic.pattern = TrafficSpec::Pattern::kHotspot;
+      } else if (value == "gateway") {
+        traffic.pattern = TrafficSpec::Pattern::kGateway;
+      } else {
+        throw ExperimentError(
+            "flag --pattern: expected uniform|hotspot|gateway, got '" +
+            std::string(value) + "'");
+      }
+    } else if (flag == "--flows") {
+      spec.scenario.traffic.flows = parse_uint(flag, value);
+    } else if (flag == "--load") {
+      spec.scenario.traffic.load = parse_double(flag, value);
+    } else if (flag == "--traffic-rate") {
+      spec.scenario.traffic.packet_rate = parse_double(flag, value);
+    } else if (flag == "--traffic-duration") {
+      spec.scenario.traffic.duration = parse_double(flag, value);
+    } else if (flag == "--pareto-shape") {
+      spec.scenario.traffic.pareto_shape = parse_double(flag, value);
+    } else if (flag == "--packet-bytes") {
+      spec.scenario.traffic.packet_bytes = parse_uint(flag, value);
+    } else if (flag == "--capacity") {
+      spec.scenario.traffic.link_capacity = parse_double(flag, value);
+    } else if (flag == "--queue-bytes") {
+      spec.scenario.traffic.queue_bytes = parse_uint(flag, value);
+    } else if (flag == "--hotspots") {
+      spec.scenario.traffic.hotspots = parse_uint(flag, value);
     } else if (flag == "--format") {
       spec.format = value;
     } else if (flag == "--output") {
@@ -378,12 +464,14 @@ std::string experiment_flags_help() {
       "  --churn-up=P          per-epoch P(failed link recovers) (0.25)\n"
       "  --refresh=N           epochs between TC refreshes; routing runs on\n"
       "                        the last refresh's advertised state (def. 1)\n"
-      "  --axis=density|speed|loss\n"
+      "  --axis=density|speed|loss|load\n"
       "                        meaning of the sweep values: mean degree,\n"
       "                        waypoint speed (fixes density at the --degree\n"
-      "                        value; needs --mobility=waypoint), or ambient\n"
+      "                        value; needs --mobility=waypoint), ambient\n"
       "                        frame-loss probability (fixes density; needs\n"
-      "                        --backend=packet — the figure R sweep)\n"
+      "                        --backend=packet — the figure R sweep), or\n"
+      "                        offered-load multiplier (fixes density; needs\n"
+      "                        --backend=packet and --traffic — figure L)\n"
       "  --loss=P              ambient Bernoulli frame-loss probability of\n"
       "                        the packet backend's medium (default 0)\n"
       "  --probes=N            data probes routed per run/protocol pair\n"
@@ -397,6 +485,23 @@ std::string experiment_flags_help() {
       "                        (default 5; 0 = permanent) (repeatable)\n"
       "  --partition=D         schedule an id-halves network partition that\n"
       "                        heals after D seconds (0 = permanent)\n"
+      "  --traffic=PROC        none|poisson|cbr|pareto: schedule concurrent\n"
+      "                        data flows after the probe phase, contending\n"
+      "                        for per-link capacity; per-flow delivery,\n"
+      "                        latency and throughput distributions are\n"
+      "                        reported (packet backend)\n"
+      "  --pattern=P           uniform|hotspot|gateway flow endpoints\n"
+      "  --flows=N             concurrent flows (default 16)\n"
+      "  --load=X              offered-load multiplier (default 1; 0 = no\n"
+      "                        traffic; the load-axis sweep value)\n"
+      "  --traffic-rate=R      packets/s per flow at load 1 (default 20)\n"
+      "  --traffic-duration=S  seconds of traffic per run (default 10)\n"
+      "  --pareto-shape=A      Pareto tail shape, > 1 (default 1.5)\n"
+      "  --packet-bytes=N      modeled payload bytes per data packet (512)\n"
+      "  --capacity=C          link capacity in bytes/s per unit bandwidth\n"
+      "                        QoS (default 20000)\n"
+      "  --queue-bytes=N       per-link FIFO queue bound, bytes (16384)\n"
+      "  --hotspots=N          hot destinations for --pattern=hotspot (2)\n"
       "  --format=F            table|csv|json (default table)\n"
       "  --output=PATH         write results to PATH instead of stdout\n"
       "  --per-run             also record and emit per-run records\n";

@@ -1,5 +1,6 @@
 #include "eval/figures.hpp"
 
+#include "eval/result_sink.hpp"
 #include "eval/scenario.hpp"
 
 namespace qolsr {
@@ -86,6 +87,57 @@ ExperimentSpec figure_r_spec(const FigureConfig& config) {
   spec.scenario.seed = config.seed;
   spec.threads = config.threads;
   return spec;
+}
+
+ExperimentSpec figure_l_spec(const FigureConfig& config) {
+  ExperimentSpec spec;
+  spec.name = "figL_qos_under_load";
+  spec.backend = BackendId::kPacket;
+  spec.metric = MetricId::kBandwidth;
+  spec.selectors = {"olsr_mpr", "qolsr_mpr1", "qolsr_mpr2",
+                    "topology_filtering", "fnbp"};
+  spec.scenario.sweep_axis = Scenario::SweepAxis::kLoad;
+  spec.scenario.densities = {0.25, 0.5, 1.0, 2.0, 4.0};  // load multiplier
+  spec.scenario.field.degree = 10.0;
+  // Multi-hop flows: congestion compounds per traversed hop, and relay
+  // links near the gateway of a flow pattern saturate first — effects the
+  // paper's 2-hop pairs would mostly hide.
+  spec.scenario.pair_mode = Scenario::PairMode::kAnyConnected;
+  spec.scenario.traffic.arrival = TrafficSpec::Arrival::kPoisson;
+  spec.scenario.traffic.pattern = TrafficSpec::Pattern::kUniform;
+  spec.scenario.traffic.flows = 16;
+  spec.scenario.traffic.packet_rate = 20.0;
+  spec.scenario.traffic.duration = 10.0;
+  spec.scenario.runs = config.runs;
+  spec.scenario.seed = config.seed;
+  spec.threads = config.threads;
+  return spec;
+}
+
+util::Table traffic_table(const std::vector<DensityStats>& sweep,
+                          const std::string& axis) {
+  std::vector<std::string> header{axis};
+  if (!sweep.empty()) {
+    for (const ProtocolStats& p : sweep.front().protocols) {
+      header.push_back(p.name + "_delivery");
+      header.push_back(p.name + "_qdrops");
+      header.push_back(p.name + "_p95_ms");
+    }
+  }
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<std::string> cells{util::format_double(d.density, 2)};
+    for (const ProtocolStats& p : d.protocols) {
+      cells.push_back(util::format_double(p.traffic.delivery_ratio(), 3));
+      cells.push_back(
+          util::format_double(static_cast<double>(p.traffic.queue_drops), 0));
+      const DistributionSummary latency =
+          summarize_distribution(p.traffic.latency);
+      cells.push_back(util::format_double(latency.p95 * 1000.0, 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
 }
 
 util::Table degradation_table(const std::vector<DensityStats>& sweep,

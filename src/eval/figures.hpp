@@ -47,6 +47,16 @@ ExperimentSpec figure_m_spec(const FigureConfig& config = {});
 /// from this spec.
 ExperimentSpec figure_r_spec(const FigureConfig& config = {});
 
+/// "Fig. L" — the repository's canned load figure: traffic delivery ratio
+/// and p95 latency vs. offered load under the packet backend, all five
+/// selectors, bandwidth metric, any-connected pairs at fixed density
+/// δ = 10. Each sweep point multiplies a 16-flow Poisson workload by the
+/// load value; links drain at a capacity proportional to their bandwidth
+/// QoS, so the selectors that advertise (and route over) high-bandwidth
+/// links keep delivering while the others saturate — the curves separate
+/// as load grows. `qolsr_eval --figure=L` starts from this spec.
+ExperimentSpec figure_l_spec(const FigureConfig& config = {});
+
 /// Fig. 6 — size of the advertised set vs. density, bandwidth metric.
 util::Table figure6_ans_size_bandwidth(const FigureConfig& config = {});
 
@@ -94,5 +104,10 @@ util::Table control_plane_table(const std::vector<DensityStats>& sweep,
 /// FaultPlan (or the loss axis).
 util::Table degradation_table(const std::vector<DensityStats>& sweep,
                               const std::string& axis = "loss");
+/// The traffic-workload series: flow delivery ratio, queue-drop count,
+/// and p95 end-to-end latency (ms) under load. Meaningful only for
+/// packet-backend sweeps with an active TrafficSpec (or the load axis).
+util::Table traffic_table(const std::vector<DensityStats>& sweep,
+                          const std::string& axis = "load");
 
 }  // namespace qolsr

@@ -50,10 +50,18 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
                         const ResolvedProtocols& protocols,
                         DensityStats& stats, PacketEvalWorkspace& ws) {
   const bool loss_axis = scenario.sweep_axis == Scenario::SweepAxis::kLoss;
-  const double density = loss_axis ? scenario.field.degree : axis_value;
+  const bool load_axis = scenario.sweep_axis == Scenario::SweepAxis::kLoad;
+  const double density =
+      loss_axis || load_axis ? scenario.field.degree : axis_value;
   FaultPlan plan = scenario.faults;
   if (loss_axis) plan.loss_rate = axis_value;
   const FaultPlan* faults = plan.active() ? &plan : nullptr;
+  // A load-axis sweep overrides the spec's load multiplier with the sweep
+  // value; load = 0 deactivates the spec entirely, so that sweep point
+  // reproduces the traffic-free figures exactly.
+  TrafficSpec traffic = scenario.traffic;
+  if (load_axis) traffic.load = axis_value;
+  const TrafficSpec* traffic_spec = traffic.active() ? &traffic : nullptr;
 
   util::Rng rng(run_seed);
   SampledRun run = sample_run<M>(scenario, density, rng, ws.eval);
@@ -85,7 +93,7 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
     // graph is borrowed, never copied — faults live in the simulator's
     // overlay, and `run` outlives every reset of this loop.
     ws.sim.reset(run.graph, flooding, ans, std::move(route), run_seed,
-                 faults);
+                 faults, traffic_spec);
     const ConvergenceReport report = ws.sim.run_to_convergence();
 
     ProtocolStats& ps = stats.protocols[si];
@@ -172,6 +180,87 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
         }
       }
     }
+    // Per-run probe delivery fraction — the sample distribution behind
+    // the delivered/failed totals (one sample per packet run).
+    ps.probe_delivery.add(static_cast<double>(probes_delivered) /
+                          static_cast<double>(probes));
+
+    // ---- traffic workload (active TrafficSpec only) ---------------------
+    // The flow schedule replays from the run seed via a dedicated salted
+    // stream, so it is identical for every protocol of the run (and every
+    // thread count): selectors compete on routing the *same* packets
+    // through the *same* contended links. Ordered after the probe fates
+    // so every figure above stays byte-identical when traffic is added.
+    util::DistributionAccumulator run_latency;
+    std::size_t traffic_delivered_run = 0;
+    std::size_t traffic_offered_run = 0;
+    if (traffic_spec != nullptr) {
+      const TrafficMatrix matrix =
+          TrafficMatrix::generate(traffic, run.graph, run_seed);
+      const double t0 = ws.sim.now();
+      for (const TrafficMatrix::Packet& packet : matrix.packets()) {
+        const TrafficMatrix::Flow& flow = matrix.flows()[packet.flow];
+        ws.sim.queue().schedule_at(t0 + packet.offset, [&ws, flow, packet] {
+          ws.sim.node(flow.source).send_data(flow.destination,
+                                             packet.payload_id);
+        });
+      }
+      // Drain slack: time for the deepest queue backlog to serialize out
+      // on the slowest (unit-bandwidth) link, plus propagation margin.
+      const double drain =
+          2.0 + static_cast<double>(traffic.queue_bytes) /
+                    traffic.link_capacity * 10.0;
+      ws.sim.run_until(t0 + traffic.duration + drain);
+
+      std::vector<std::size_t> flow_offered(matrix.flows().size(), 0);
+      std::vector<std::size_t> flow_delivered(matrix.flows().size(), 0);
+      for (const TrafficMatrix::Packet& packet : matrix.packets()) {
+        ++ps.traffic.offered;
+        ++flow_offered[packet.flow];
+        const auto journey = trace.journeys.find(packet.payload_id);
+        const bool arrived =
+            journey != trace.journeys.end() && journey->second.delivered;
+        if (arrived) {
+          ++ps.traffic.delivered;
+          ++flow_delivered[packet.flow];
+          const double latency =
+              journey->second.delivered_at - journey->second.sent_at;
+          ps.traffic.latency.add(latency);
+          run_latency.add(latency);
+        } else {
+          using Drop = TraceStats::Journey::Drop;
+          const Drop fate = journey != trace.journeys.end()
+                                ? journey->second.drop
+                                : Drop::kNone;
+          switch (fate) {
+            case Drop::kQueueDrop:
+              ++ps.traffic.queue_drops;
+              break;
+            case Drop::kNoRoute:
+              ++ps.traffic.no_route_drops;
+              break;
+            case Drop::kTtl:
+              ++ps.traffic.loop_drops;
+              break;
+            case Drop::kNone:  // vanished in flight: the medium took it
+              ++ps.traffic.medium_drops;
+              break;
+          }
+        }
+      }
+      for (std::size_t f = 0; f < matrix.flows().size(); ++f) {
+        if (flow_offered[f] == 0) continue;
+        ps.traffic.flow_delivery.add(
+            static_cast<double>(flow_delivered[f]) /
+            static_cast<double>(flow_offered[f]));
+        ps.traffic.flow_throughput.add(
+            static_cast<double>(flow_delivered[f]) *
+            static_cast<double>(traffic.packet_bytes) / traffic.duration);
+        traffic_delivered_run += flow_delivered[f];
+      }
+      traffic_offered_run = matrix.packets().size();
+    }
+
     if (scenario.record_runs) {
       RunRecord::Protocol& rp = record.protocols[si];
       rp.set_size = set_size;
@@ -181,6 +270,10 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
       rp.control_bytes = static_cast<double>(converged.control_bytes);
       rp.probes_delivered = probes_delivered;
       rp.probes_failed = probes - probes_delivered;
+      rp.traffic_offered = traffic_offered_run;
+      rp.traffic_delivered = traffic_delivered_run;
+      rp.traffic_latency_p95 =
+          util::quantile_sorted(run_latency.sorted(), 0.95);
       if (probes_delivered > 0) {
         rp.value = first_value;
         rp.overhead = first_overhead;

@@ -8,6 +8,28 @@
 
 namespace qolsr {
 
+DistributionSummary summarize_distribution(
+    const util::DistributionAccumulator& dist) {
+  DistributionSummary summary;
+  summary.count = dist.count();
+  if (dist.empty()) return summary;
+  // Everything derives from the one sorted copy — including the mean,
+  // whose floating-point summation order must not depend on how many
+  // worker threads contributed samples.
+  const std::vector<double> sorted = dist.sorted();
+  double sum = 0.0;
+  for (const double x : sorted) sum += x;
+  summary.mean = sum / static_cast<double>(sorted.size());
+  summary.p50 = util::quantile_sorted(sorted, 0.50);
+  summary.p95 = util::quantile_sorted(sorted, 0.95);
+  summary.p99 = util::quantile_sorted(sorted, 0.99);
+  summary.min = sorted.front();
+  summary.max = sorted.back();
+  summary.histogram = util::histogram_sorted(
+      sorted, summary.min, summary.max, kDistributionHistogramBuckets);
+  return summary;
+}
+
 namespace {
 
 /// Shortest-ish decimal that round-trips our aggregate magnitudes; stable
@@ -89,6 +111,32 @@ bool fault_mode(const ExperimentSpec& spec) {
           spec.scenario.sweep_axis == Scenario::SweepAxis::kLoss);
 }
 
+/// Same opt-in discipline for the traffic-workload columns/fields: they
+/// exist only where a flow schedule can have run — a packet-backend result
+/// whose scenario carries an active TrafficSpec or sweeps the load axis.
+/// A packet sweep with no traffic flags keeps its pre-traffic byte layout.
+bool traffic_mode(const ExperimentSpec& spec) {
+  return spec.backend == BackendId::kPacket &&
+         (spec.scenario.traffic.active() ||
+          spec.scenario.sweep_axis == Scenario::SweepAxis::kLoad);
+}
+
+/// JSON object form of a DistributionSummary.
+std::string json_distribution(const util::DistributionAccumulator& dist) {
+  const DistributionSummary s = summarize_distribution(dist);
+  std::string out = "{\"count\": " + std::to_string(s.count) +
+                    ", \"mean\": " + json_num(s.mean) +
+                    ", \"p50\": " + json_num(s.p50) +
+                    ", \"p95\": " + json_num(s.p95) +
+                    ", \"p99\": " + json_num(s.p99) +
+                    ", \"min\": " + json_num(s.min) +
+                    ", \"max\": " + json_num(s.max) + ", \"histogram\": [";
+  for (std::size_t i = 0; i < s.histogram.size(); ++i)
+    out += (i ? ", " : "") + std::to_string(s.histogram[i]);
+  out += "]}";
+  return out;
+}
+
 /// The 12 aggregate columns shared by both static CSV layouts (oracle and
 /// packet) — one writer, so the "figure tooling reads either" contract
 /// cannot drift between the two. The sweep-axis column is labeled by its
@@ -124,11 +172,13 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
   // outcome — convergence time, the honest converged flag, control bytes,
   // and the probe split; the oracle layout is pinned and keeps its form.
   const bool packet = result.spec.backend == BackendId::kPacket;
+  const bool traffic = traffic_mode(result.spec);
   os << '\n' << sweep_axis_name(result.spec.scenario.sweep_axis)
      << ",run,nodes,protocol,set_size,delivered,value,overhead,path_hops";
   if (packet)
     os << ",convergence_time,converged,control_bytes,probes_delivered,"
           "probes_failed";
+  if (traffic) os << ",traffic_offered,traffic_delivered,traffic_latency_p95";
   os << '\n';
   for (const DensityStats& d : result.sweep) {
     for (const RunRecord& r : d.run_records) {
@@ -147,6 +197,10 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
              << ',' << fmt(rp.control_bytes) << ',' << rp.probes_delivered
              << ',' << rp.probes_failed;
         }
+        if (traffic) {
+          os << ',' << rp.traffic_offered << ',' << rp.traffic_delivered
+             << ',' << fmt(rp.traffic_latency_p95);
+        }
         os << '\n';
       }
     }
@@ -159,6 +213,7 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
 /// duplicate-set hits, and the measured convergence time.
 void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
   const bool faults = fault_mode(result.spec);
+  const bool traffic = traffic_mode(result.spec);
   os << static_csv_header(result.spec)
      << ",hello_msgs_mean,tc_msgs_mean,tc_forwards_mean,"
         "duplicate_drops_mean,control_bytes_mean,convergence_time_mean,"
@@ -166,10 +221,19 @@ void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
   if (faults)
     os << ",loss_rate,probes,delivery_ratio,no_route_drops,loop_drops,"
           "medium_drops,frames_lost_mean,frames_blocked_mean,"
-          "reconvergence_time_mean,reconv_unconverged";
+          "reconvergence_time_mean,reconv_unconverged,probe_delivery_p50,"
+          "probe_delivery_p95,probe_delivery_p99";
+  if (traffic)
+    os << ",load,offered,traffic_delivered,traffic_delivery_ratio,"
+          "queue_drops,traffic_no_route_drops,traffic_loop_drops,"
+          "traffic_medium_drops,latency_p50,latency_p95,latency_p99,"
+          "flow_delivery_p50,flow_delivery_p95,flow_delivery_p99,"
+          "throughput_p50,throughput_p95,throughput_p99";
   os << '\n';
   const bool loss_axis =
       result.spec.scenario.sweep_axis == Scenario::SweepAxis::kLoss;
+  const bool load_axis =
+      result.spec.scenario.sweep_axis == Scenario::SweepAxis::kLoad;
   for (const DensityStats& d : result.sweep) {
     for (const ProtocolStats& p : d.protocols) {
       write_static_csv_row_prefix(result, d, p, os);
@@ -184,6 +248,8 @@ void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
       if (faults) {
         const double loss_rate =
             loss_axis ? d.density : result.spec.scenario.faults.loss_rate;
+        const DistributionSummary probe_delivery =
+            summarize_distribution(p.probe_delivery);
         os << ',' << fmt(loss_rate) << ','
            << result.spec.scenario.probe_packets << ','
            << fmt(p.delivery_ratio()) << ',' << p.no_route_losses << ','
@@ -191,7 +257,29 @@ void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
            << fmt(p.control.frames_lost.mean()) << ','
            << fmt(p.control.frames_blocked.mean()) << ','
            << fmt(p.control.reconvergence_time.mean()) << ','
-           << p.control.reconv_unconverged;
+           << p.control.reconv_unconverged << ','
+           << fmt(probe_delivery.p50) << ',' << fmt(probe_delivery.p95)
+           << ',' << fmt(probe_delivery.p99);
+      }
+      if (traffic) {
+        const double load =
+            load_axis ? d.density : result.spec.scenario.traffic.load;
+        const DistributionSummary latency =
+            summarize_distribution(p.traffic.latency);
+        const DistributionSummary flow_delivery =
+            summarize_distribution(p.traffic.flow_delivery);
+        const DistributionSummary throughput =
+            summarize_distribution(p.traffic.flow_throughput);
+        os << ',' << fmt(load) << ',' << p.traffic.offered << ','
+           << p.traffic.delivered << ','
+           << fmt(p.traffic.delivery_ratio()) << ','
+           << p.traffic.queue_drops << ',' << p.traffic.no_route_drops
+           << ',' << p.traffic.loop_drops << ',' << p.traffic.medium_drops
+           << ',' << fmt(latency.p50) << ',' << fmt(latency.p95) << ','
+           << fmt(latency.p99) << ',' << fmt(flow_delivery.p50) << ','
+           << fmt(flow_delivery.p95) << ',' << fmt(flow_delivery.p99)
+           << ',' << fmt(throughput.p50) << ',' << fmt(throughput.p95)
+           << ',' << fmt(throughput.p99);
       }
       os << '\n';
     }
@@ -221,6 +309,17 @@ void PrettyTableSink::write(const ExperimentResult& result,
        << " incidents=" << spec.scenario.faults.incidents.size()
        << " probes/run=" << spec.scenario.probe_packets << "\n";
   }
+  const bool traffic = traffic_mode(spec);
+  if (traffic) {
+    const TrafficSpec& t = spec.scenario.traffic;
+    os << "# traffic: arrival=" << traffic_arrival_name(t.arrival)
+       << " pattern=" << traffic_pattern_name(t.pattern)
+       << " flows=" << t.flows << " load="
+       << (spec.scenario.sweep_axis == Scenario::SweepAxis::kLoad
+               ? "<sweep axis>"
+               : fmt(t.load))
+       << "\n";
+  }
   if (dynamic) {
     const DynamicsSpec& dyn = spec.scenario.dynamics;
     os << "# mobility="
@@ -241,6 +340,10 @@ void PrettyTableSink::write(const ExperimentResult& result,
     os << "\n## graceful degradation (delivery ratio, blackhole drops, mean "
           "re-convergence seconds after injected faults)\n"
        << degradation_table(result.sweep, axis).to_string();
+  if (traffic)
+    os << "\n## traffic under load (flow delivery ratio, queue-tail drops, "
+          "p95 end-to-end latency in ms)\n"
+       << traffic_table(result.sweep, axis).to_string();
   bool has_control = false;
   for (const DensityStats& d : result.sweep)
     for (const ProtocolStats& p : d.protocols)
@@ -316,6 +419,22 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
   os << "  \"threads\": " << spec.threads << ",\n";
   const bool dynamic = spec.scenario.dynamics.enabled();
   const bool faults = fault_mode(spec);
+  const bool traffic = traffic_mode(spec);
+  if (traffic) {
+    const TrafficSpec& t = spec.scenario.traffic;
+    if (!faults)
+      os << "  \"axis\": \"" << sweep_axis_name(spec.scenario.sweep_axis)
+         << "\",\n";
+    os << "  \"traffic\": {\"arrival\": \"" << traffic_arrival_name(t.arrival)
+       << "\", \"pattern\": \"" << traffic_pattern_name(t.pattern)
+       << "\", \"flows\": " << t.flows
+       << ", \"load\": " << fmt(t.load)
+       << ", \"packet_rate\": " << fmt(t.packet_rate)
+       << ", \"duration\": " << fmt(t.duration)
+       << ", \"packet_bytes\": " << t.packet_bytes
+       << ", \"link_capacity\": " << fmt(t.link_capacity)
+       << ", \"queue_bytes\": " << t.queue_bytes << "},\n";
+  }
   if (faults) {
     const FaultPlan& plan = spec.scenario.faults;
     std::size_t crashes = 0, flaps = 0, partitions = 0;
@@ -376,7 +495,25 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
         os << ",\n         \"delivery_ratio\": " << json_num(p.delivery_ratio())
            << ", \"no_route_drops\": " << p.no_route_losses
            << ", \"loop_drops\": " << p.loop_losses
-           << ", \"medium_drops\": " << p.medium_losses;
+           << ", \"medium_drops\": " << p.medium_losses
+           << ",\n         \"probe_delivery\": "
+           << json_distribution(p.probe_delivery);
+      }
+      if (traffic && p.traffic.measured()) {
+        os << ",\n         \"traffic\": {"
+           << "\n           \"offered\": " << p.traffic.offered
+           << ", \"delivered\": " << p.traffic.delivered
+           << ", \"delivery_ratio\": " << json_num(p.traffic.delivery_ratio())
+           << ",\n           \"queue_drops\": " << p.traffic.queue_drops
+           << ", \"no_route_drops\": " << p.traffic.no_route_drops
+           << ", \"loop_drops\": " << p.traffic.loop_drops
+           << ", \"medium_drops\": " << p.traffic.medium_drops
+           << ",\n           \"latency\": "
+           << json_distribution(p.traffic.latency)
+           << ",\n           \"flow_delivery\": "
+           << json_distribution(p.traffic.flow_delivery)
+           << ",\n           \"flow_throughput\": "
+           << json_distribution(p.traffic.flow_throughput) << "}";
       }
       if (p.control.measured()) {
         os << ",\n         \"control_plane\": {"
@@ -426,6 +563,11 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
                << ", \"control_bytes\": " << fmt(rp.control_bytes)
                << ", \"probes_delivered\": " << rp.probes_delivered
                << ", \"probes_failed\": " << rp.probes_failed;
+          if (traffic)
+            os << ", \"traffic_offered\": " << rp.traffic_offered
+               << ", \"traffic_delivered\": " << rp.traffic_delivered
+               << ", \"traffic_latency_p95\": "
+               << json_num(rp.traffic_latency_p95);
           os << "}";
         }
         os << "]}";

@@ -1,12 +1,40 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "eval/experiment.hpp"
+#include "util/stats.hpp"
 
 namespace qolsr {
+
+/// Histogram resolution of emitted distribution summaries (JSON only; the
+/// CSV carries the quantiles).
+inline constexpr std::size_t kDistributionHistogramBuckets = 8;
+
+/// What every sink reports about a retained-sample distribution (probe
+/// delivery, flow latency/delivery/throughput): exact quantiles plus a
+/// fixed-bucket histogram over the observed range. All fields derive from
+/// one ascending sort of the samples, so the summary is invariant to the
+/// merge order of worker-thread partials — i.e. to the thread count.
+struct DistributionSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// kDistributionHistogramBuckets equal-width bins over [min, max];
+  /// empty when there are no samples.
+  std::vector<std::size_t> histogram;
+};
+
+DistributionSummary summarize_distribution(
+    const util::DistributionAccumulator& dist);
 
 /// Output side of the experiment engine: formats a finished
 /// ExperimentResult onto a stream. Every implementation emits the

@@ -75,6 +75,48 @@ struct ControlPlaneStats {
   }
 };
 
+/// Flow-level outcome of the traffic workload of one protocol at one sweep
+/// point (packet backend with an active TrafficSpec; empty otherwise).
+/// Counters are packet totals across runs; the distributions keep every
+/// sample (per packet resp. per flow) so the sinks can report quantiles
+/// and histograms, not just means.
+struct TrafficStats {
+  std::size_t offered = 0;    ///< data packets scheduled
+  std::size_t delivered = 0;  ///< data packets that reached their sink
+  // Fate classification of undelivered packets (sums to offered-delivered):
+  std::size_t queue_drops = 0;    ///< tail-dropped at a saturated link queue
+  std::size_t no_route_drops = 0; ///< a hop had no route to the destination
+  std::size_t loop_drops = 0;     ///< TTL exhausted (routing loop)
+  std::size_t medium_drops = 0;   ///< lost mid-flight on the lossy medium
+  /// End-to-end latency of each delivered packet, seconds.
+  util::DistributionAccumulator latency;
+  /// Per-flow delivered fraction (one sample per flow per run).
+  util::DistributionAccumulator flow_delivery;
+  /// Per-flow goodput in bytes/second (delivered payload over the traffic
+  /// duration; one sample per flow per run).
+  util::DistributionAccumulator flow_throughput;
+
+  bool measured() const { return offered > 0; }
+
+  double delivery_ratio() const {
+    return offered > 0
+               ? static_cast<double>(delivered) / static_cast<double>(offered)
+               : 0.0;
+  }
+
+  void merge(const TrafficStats& other) {
+    offered += other.offered;
+    delivered += other.delivered;
+    queue_drops += other.queue_drops;
+    no_route_drops += other.no_route_drops;
+    loop_drops += other.loop_drops;
+    medium_drops += other.medium_drops;
+    latency.merge(other.latency);
+    flow_delivery.merge(other.flow_delivery);
+    flow_throughput.merge(other.flow_throughput);
+  }
+};
+
 /// Aggregated measurements of one protocol at one sweep point. Static
 /// sweeps sample once per run; the dynamics epoch loop samples once per
 /// measured epoch (set_size, overhead, path_hops, delivered/failed) and
@@ -111,6 +153,12 @@ struct ProtocolStats {
   std::size_t no_route_losses = 0;
   std::size_t loop_losses = 0;
   std::size_t medium_losses = 0;
+  /// Per-run probe delivery fraction (probes_delivered / probe_packets,
+  /// one sample per run) — the distribution behind the delivered/failed
+  /// totals, emitted alongside the fault block.
+  util::DistributionAccumulator probe_delivery;
+  /// Flow-level outcomes of the traffic workload (active TrafficSpec only).
+  TrafficStats traffic;
 
   /// Delivered fraction of attempted packets (0 when none were attempted)
   /// — the headline dynamics series, shared by every result emitter.
@@ -139,6 +187,10 @@ struct RunRecord {
     double control_bytes = 0.0;        ///< control bytes to convergence
     std::size_t probes_delivered = 0;  ///< of Scenario::probe_packets
     std::size_t probes_failed = 0;
+    // ---- traffic workload (defaults without an active TrafficSpec) ------
+    std::size_t traffic_offered = 0;    ///< data packets scheduled this run
+    std::size_t traffic_delivered = 0;  ///< of those, delivered
+    double traffic_latency_p95 = 0.0;   ///< this run's p95 latency, seconds
   };
   std::vector<Protocol> protocols;  ///< same order as DensityStats::protocols
 };
@@ -351,6 +403,8 @@ inline void merge_into(DensityStats& into, DensityStats& from) {
     a.stretch.merge(b.stretch);
     a.readvertised.merge(b.readvertised);
     a.control.merge(b.control);
+    a.probe_delivery.merge(b.probe_delivery);
+    a.traffic.merge(b.traffic);
   }
 }
 

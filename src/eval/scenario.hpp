@@ -2,10 +2,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/deployment.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/traffic.hpp"
 
 namespace qolsr {
 
@@ -117,6 +119,13 @@ struct Scenario {
   /// the packet backend byte-identical to the fault-free engine. Packet
   /// backend only; the oracle has no frames to lose.
   FaultPlan faults;
+  /// The traffic workload scheduled on every packet-backend run after the
+  /// probe phase: concurrent flows contending for per-link capacity in the
+  /// ContendedMedium, with per-flow delivery/latency/throughput
+  /// distributions reported. Inactive by default — an inactive spec leaves
+  /// the packet backend byte-identical to a traffic-free run. Packet
+  /// backend only; the oracle has no medium to load.
+  TrafficSpec traffic;
   /// Data probes routed per (run, protocol) between the shared sampled
   /// pair. 1 (the default) reproduces the classic single-packet
   /// delivered/failed figure; lossy scenarios want more probes so the
@@ -130,20 +139,55 @@ struct Scenario {
   /// kLoss (packet backend only): ambient frame-loss probability — each
   /// sweep point sets `faults.loss_rate` to the value at fixed
   /// `field.degree` density (the x-axis of figure R, delivery vs. loss).
-  enum class SweepAxis { kDensity, kSpeed, kLoss };
+  /// kLoad (packet backend only, traffic spec required): offered-load
+  /// multiplier — each sweep point sets `traffic.load` to the value at
+  /// fixed `field.degree` density (the x-axis of figure L, QoS under
+  /// load).
+  enum class SweepAxis { kDensity, kSpeed, kLoss, kLoad };
   SweepAxis sweep_axis = SweepAxis::kDensity;
+};
+
+/// The one table every axis consumer shares: CLI parsing, validation
+/// error text and emitted column labels all derive from it, so adding an
+/// axis is one row here (plus its semantics at the point of use).
+struct SweepAxisInfo {
+  Scenario::SweepAxis axis;
+  const char* name;
+};
+inline constexpr SweepAxisInfo kSweepAxes[] = {
+    {Scenario::SweepAxis::kDensity, "density"},
+    {Scenario::SweepAxis::kSpeed, "speed"},
+    {Scenario::SweepAxis::kLoss, "loss"},
+    {Scenario::SweepAxis::kLoad, "load"},
 };
 
 /// Column label of the sweep axis in emitted results.
 inline const char* sweep_axis_name(Scenario::SweepAxis axis) {
-  switch (axis) {
-    case Scenario::SweepAxis::kSpeed:
-      return "speed";
-    case Scenario::SweepAxis::kLoss:
-      return "loss";
-    default:
-      return "density";
+  for (const SweepAxisInfo& info : kSweepAxes)
+    if (info.axis == axis) return info.name;
+  return "density";
+}
+
+/// Parses an axis name from the table. Returns false on an unknown name.
+inline bool parse_sweep_axis(const std::string& name,
+                             Scenario::SweepAxis& out) {
+  for (const SweepAxisInfo& info : kSweepAxes) {
+    if (name == info.name) {
+      out = info.axis;
+      return true;
+    }
   }
+  return false;
+}
+
+/// Comma-separated list of the valid axis names (for error messages).
+inline std::string sweep_axis_names() {
+  std::string out;
+  for (const SweepAxisInfo& info : kSweepAxes) {
+    if (!out.empty()) out += "|";
+    out += info.name;
+  }
+  return out;
 }
 
 /// Densities used by the bandwidth figures (6 and 8).

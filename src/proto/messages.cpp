@@ -210,4 +210,25 @@ std::size_t tc_wire_size(std::size_t ans_size) {
   return kHeaderBytes + 4 + 2 + 2 + ans_size * kAdvertBytes;
 }
 
+namespace {
+/// Serialized data frame: header + source u32 + destination u32 +
+/// payload_id u32. The payload id therefore sits at a fixed offset.
+constexpr std::size_t kDataFrameBytes = kHeaderBytes + 12;
+constexpr std::size_t kPayloadIdOffset = kHeaderBytes + 8;
+}  // namespace
+
+bool is_data_frame(const std::vector<std::byte>& bytes) {
+  return bytes.size() == kDataFrameBytes &&
+         static_cast<std::uint8_t>(bytes[0]) ==
+             static_cast<std::uint8_t>(MessageType::kData);
+}
+
+std::uint32_t peek_data_payload_id(const std::vector<std::byte>& bytes) {
+  if (!is_data_frame(bytes)) return 0;
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    id |= static_cast<std::uint32_t>(bytes[kPayloadIdOffset + i]) << (8 * i);
+  return id;
+}
+
 }  // namespace qolsr

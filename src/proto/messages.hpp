@@ -104,4 +104,11 @@ std::optional<ParsedPacket> parse_packet(const std::vector<std::byte>& bytes);
 /// (smaller ANS ⇒ smaller TC messages).
 std::size_t tc_wire_size(std::size_t ans_size);
 
+/// Cheap wire peeks for medium-layer accounting (the capacity model must
+/// classify and attribute frames without paying a full parse per queued
+/// delivery). Both tolerate arbitrary byte strings: a frame that is not a
+/// well-formed data packet is simply "not data" / payload id 0.
+bool is_data_frame(const std::vector<std::byte>& bytes);
+std::uint32_t peek_data_payload_id(const std::vector<std::byte>& bytes);
+
 }  // namespace qolsr

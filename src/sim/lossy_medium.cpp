@@ -87,6 +87,7 @@ void LossyMedium::broadcast(NodeId from, SharedBytes bytes) {
   // deterministic — and with no fault source active the loop is exactly
   // the ideal medium's.
   const bool clean = !impaired();
+  scratch_receivers_.clear();
   for (const Edge& e : sim_->network().neighbors(from)) {
     if (!clean) {
       if (blocked(from, e.to)) {
@@ -98,7 +99,17 @@ void LossyMedium::broadcast(NodeId from, SharedBytes bytes) {
         continue;
       }
     }
-    sim_->deliver(from, e.to, bytes);
+    scratch_receivers_.push_back(e.to);
+  }
+  if (sim_->contention_active()) {
+    // Per-leg delivery: each leg pays its own queueing delay (or drop).
+    for (const NodeId to : scratch_receivers_) sim_->deliver(from, to, bytes);
+  } else {
+    // All surviving legs share one delivery time, so the whole fan-out is
+    // batched into a single event — equivalent ordering (the per-leg
+    // events would hold contiguous sequence numbers at the same time) at
+    // a fraction of the scheduling cost.
+    sim_->deliver_fanout(from, scratch_receivers_, std::move(bytes));
   }
 }
 

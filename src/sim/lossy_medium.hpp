@@ -91,6 +91,10 @@ class LossyMedium final : public Medium {
   std::unordered_set<std::uint64_t> down_links_;
   std::unordered_map<std::uint64_t, double> link_loss_;
   int partitions_ = 0;
+  /// Surviving broadcast receivers, reused across calls (fan-out batching
+  /// hands one receiver list to Simulator::deliver_fanout instead of
+  /// scheduling one event per leg).
+  std::vector<NodeId> scratch_receivers_;
 };
 
 }  // namespace qolsr

@@ -228,6 +228,7 @@ void OlsrNode::send_data(NodeId destination, std::uint32_t payload_id) {
   auto& journey = trace_.journeys[payload_id];
   journey.source = id_;
   journey.destination = destination;
+  journey.sent_at = medium_.now();
   journey.path = {id_};
   forward_or_deliver(header, data);
 }
@@ -237,7 +238,10 @@ void OlsrNode::handle_data(PacketHeader header, const DataMessage& data) {
   if (it != trace_.journeys.end()) it->second.path.push_back(id_);
   if (data.destination == id_) {
     trace_.data_delivered += 1;
-    if (it != trace_.journeys.end()) it->second.delivered = true;
+    if (it != trace_.journeys.end()) {
+      it->second.delivered = true;
+      it->second.delivered_at = medium_.now();
+    }
     return;
   }
   if (header.ttl <= 1) {

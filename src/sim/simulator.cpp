@@ -17,7 +17,7 @@ Simulator::Simulator(const Graph& graph, const AnsSelector& flooding_selector,
                      const AnsSelector& ans_selector,
                      OlsrNode::RouteFn route_fn, SimConfig config,
                      const FaultPlan* faults)
-    : config_(config), lossy_(*this, trace_) {
+    : config_(config), lossy_(*this, trace_), contended_(*this, trace_) {
   reset(graph, flooding_selector, ans_selector, std::move(route_fn),
         config.seed, faults);
 }
@@ -26,7 +26,7 @@ void Simulator::reset(const Graph& graph,
                       const AnsSelector& flooding_selector,
                       const AnsSelector& ans_selector,
                       OlsrNode::RouteFn route_fn, std::uint64_t seed,
-                      const FaultPlan* faults) {
+                      const FaultPlan* faults, const TrafficSpec* traffic) {
   // The queued callbacks capture node pointers from the previous run; drop
   // them before touching the node vector.
   queue_.reset();
@@ -35,6 +35,7 @@ void Simulator::reset(const Graph& graph,
   trace_ = TraceStats{};
   trace_at_convergence_ = TraceStats{};
   lossy_.reset(faults, seed);
+  contended_.reset(traffic);
   fault_rng_ = util::Rng(seed ^ kFaultStreamSalt);
   route_fn_ = std::move(route_fn);
 
@@ -168,9 +169,25 @@ void Simulator::deliver(NodeId from, NodeId to, SharedBytes bytes) {
   // Ideal MAC: the receiver gets the same intact buffer after the
   // propagation delay — one immutable allocation shared across a whole
   // broadcast fan-out, never a per-neighbor copy.
+  double delay = config_.propagation_delay;
+  if (contended_.active()) {
+    const double queued = contended_.admit(from, to, *bytes, now());
+    if (queued < 0.0) return;  // tail-dropped at the link queue
+    delay += queued;
+  }
+  queue_.schedule_in(delay, [this, from, to, bytes = std::move(bytes)] {
+    nodes_[to]->on_receive(from, *bytes);
+  });
+}
+
+void Simulator::deliver_fanout(NodeId from,
+                               const std::vector<NodeId>& receivers,
+                               SharedBytes bytes) {
+  if (receivers.empty()) return;
   queue_.schedule_in(config_.propagation_delay,
-                     [this, from, to, bytes = std::move(bytes)] {
-                       nodes_[to]->on_receive(from, *bytes);
+                     [this, from, receivers, bytes = std::move(bytes)] {
+                       for (const NodeId to : receivers)
+                         nodes_[to]->on_receive(from, *bytes);
                      });
 }
 

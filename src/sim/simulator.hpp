@@ -10,6 +10,7 @@
 #include "sim/medium.hpp"
 #include "sim/olsr_node.hpp"
 #include "sim/trace.hpp"
+#include "sim/traffic.hpp"
 #include "util/rng.hpp"
 
 namespace qolsr {
@@ -86,7 +87,7 @@ struct ConvergenceReport {
 class Simulator final : public Medium {
  public:
   /// An empty simulator (no nodes); bring it to life with `reset`.
-  Simulator() : lossy_(*this, trace_) {}
+  Simulator() : lossy_(*this, trace_), contended_(*this, trace_) {}
 
   Simulator(const Graph& graph, const AnsSelector& flooding_selector,
             const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
@@ -104,10 +105,12 @@ class Simulator final : public Medium {
   /// previous run are reused.
   void reset(const Graph& graph, const AnsSelector& flooding_selector,
              const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
-             std::uint64_t seed, const FaultPlan* faults = nullptr);
+             std::uint64_t seed, const FaultPlan* faults = nullptr,
+             const TrafficSpec* traffic = nullptr);
   void reset(Graph&& graph, const AnsSelector& flooding_selector,
              const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
-             std::uint64_t seed, const FaultPlan* faults = nullptr) = delete;
+             std::uint64_t seed, const FaultPlan* faults = nullptr,
+             const TrafficSpec* traffic = nullptr) = delete;
 
   /// Advances the simulation clock.
   void run_until(SimTime horizon) { queue_.run_until(horizon); }
@@ -138,6 +141,13 @@ class Simulator final : public Medium {
   /// The fault overlay (inspection; tests assert on blocked/lost frames).
   const LossyMedium& faults() const { return lossy_; }
 
+  /// The capacity layer (inspection; tests assert on queue drops).
+  const ContendedMedium& contention() const { return contended_; }
+  /// Whether a traffic spec is loading the medium this run — when false,
+  /// delivery takes the ideal-MAC fast path (and broadcast fan-outs may be
+  /// batched into a single event, since per-leg admission is moot).
+  bool contention_active() const { return contended_.active(); }
+
   OlsrNode& node(NodeId id) { return *nodes_[id]; }
   const OlsrNode& node(NodeId id) const { return *nodes_[id]; }
   const Graph& network() const { return *graph_; }
@@ -160,8 +170,19 @@ class Simulator final : public Medium {
 
   /// Schedules the delivery of one frame after the propagation delay —
   /// the ideal-MAC core the LossyMedium decorator forwards surviving
-  /// frames to.
+  /// frames to. With an active traffic spec the frame first passes the
+  /// capacity layer's admission: it may be tail-dropped or delayed by the
+  /// link's queue backlog on top of propagation.
   void deliver(NodeId from, NodeId to, SharedBytes bytes);
+
+  /// Batched broadcast fan-out: one scheduled event delivering `bytes` to
+  /// every receiver, instead of one event (and one std::function
+  /// allocation) per leg. Only valid on the uncontended fast path — the
+  /// legs share one delivery time — and ordering-equivalent to per-leg
+  /// deliver calls because those would occupy contiguous sequence numbers
+  /// at the same timestamp anyway.
+  void deliver_fanout(NodeId from, const std::vector<NodeId>& receivers,
+                      SharedBytes bytes);
 
   // -- Medium (delegates through the fault layer, so direct use of the
   // simulator as a Medium sees the same lossy world the nodes do) --
@@ -189,6 +210,7 @@ class Simulator final : public Medium {
   TraceStats trace_;
   TraceStats trace_at_convergence_;  ///< see trace_at_convergence()
   LossyMedium lossy_;           ///< the Medium the nodes transmit through
+  ContendedMedium contended_;   ///< capacity layer under the fault layer
   util::Rng fault_rng_{1};      ///< victim draws for random incidents
   OlsrNode::RouteFn route_fn_;  ///< shared by all nodes (they borrow it)
   std::vector<std::unique_ptr<OlsrNode>> nodes_;

@@ -28,6 +28,9 @@ struct TraceStats {
   /// Frame deliveries suppressed by the up/down overlay (crashed node,
   /// downed link, active partition).
   std::uint64_t frames_blocked = 0;
+  // ---- capacity layer (ContendedMedium; zero without a traffic spec) ----
+  /// Frame deliveries tail-dropped at a full per-link FIFO queue.
+  std::uint64_t frames_queue_dropped = 0;
 
   /// Journey of one data packet, keyed by payload id.
   struct Journey {
@@ -35,14 +38,19 @@ struct TraceStats {
     /// it. A journey that is neither delivered nor marked was lost in the
     /// medium (Bernoulli loss or a fault-blocked hop) mid-flight.
     enum class Drop : std::uint8_t {
-      kNone,     ///< still in flight (or delivered)
-      kNoRoute,  ///< a hop's knowledge graph had no route (blackhole)
-      kTtl,      ///< hop limit exhausted (routing loop / overlong path)
+      kNone,       ///< still in flight (or delivered)
+      kNoRoute,    ///< a hop's knowledge graph had no route (blackhole)
+      kTtl,        ///< hop limit exhausted (routing loop / overlong path)
+      kQueueDrop,  ///< tail-dropped at a saturated link queue (congestion)
     };
     NodeId source = kInvalidNode;
     NodeId destination = kInvalidNode;
     bool delivered = false;
     Drop drop = Drop::kNone;
+    /// Clock stamps for end-to-end latency: set by send_data resp. the
+    /// destination's handle_data (0 until then; SimTime is double).
+    double sent_at = 0.0;
+    double delivered_at = 0.0;
     std::vector<NodeId> path;  ///< nodes traversed, starting at the source
   };
   std::unordered_map<std::uint32_t, Journey> journeys;

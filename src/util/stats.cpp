@@ -63,4 +63,27 @@ double quantile(std::vector<double> samples, double q) {
   return quantile_sorted(samples, q);
 }
 
+std::vector<double> DistributionAccumulator::sorted() const {
+  std::vector<double> out = samples_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> histogram_sorted(const std::vector<double>& sorted,
+                                          double lo, double hi,
+                                          std::size_t buckets) {
+  if (buckets == 0) buckets = 1;
+  std::vector<std::size_t> counts(buckets, 0);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (const double x : sorted) {
+    std::size_t bin = 0;
+    if (width > 0.0 && x > lo) {
+      bin = static_cast<std::size_t>((x - lo) / width);
+      if (bin >= buckets) bin = buckets - 1;
+    }
+    counts[bin] += 1;
+  }
+  return counts;
+}
+
 }  // namespace qolsr::util

@@ -42,4 +42,37 @@ double quantile(std::vector<double> samples, double q);
 /// Quantile of an already ascending-sorted sample.
 double quantile_sorted(const std::vector<double>& sorted, double q);
 
+/// Sample-retaining accumulator for distribution-shaped outputs (latency,
+/// per-flow delivery, throughput): where RunningStats keeps only moments,
+/// this keeps every sample so the sinks can report exact quantiles and
+/// histogram buckets. Mergeable across worker threads; every derived
+/// statistic is computed from the ascending-sorted samples, so the result
+/// is invariant to merge order — and therefore to the thread count.
+class DistributionAccumulator {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void merge(const DistributionAccumulator& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Ascending-sorted copy of the samples — the canonical order every
+  /// emitted statistic (quantiles, mean, histogram) is derived from.
+  std::vector<double> sorted() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Counts an ascending-sorted sample into `buckets` equal-width bins over
+/// [lo, hi); values below lo land in the first bin, values >= hi in the
+/// last. Degenerate ranges (hi <= lo) put everything in the first bin.
+std::vector<std::size_t> histogram_sorted(const std::vector<double>& sorted,
+                                          double lo, double hi,
+                                          std::size_t buckets);
+
 }  // namespace qolsr::util

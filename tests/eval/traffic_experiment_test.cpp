@@ -1,0 +1,178 @@
+// Traffic-workload contracts at the experiment level: a packet sweep with
+// no traffic flags (or --load=0) keeps its pre-traffic byte layout,
+// schedules are deterministic and thread-count invariant, every offered
+// packet is charged to delivery or a drop fate, QoS distributions degrade
+// monotonically with offered load, and the oracle rejects the knobs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "eval/figures.hpp"
+#include "eval/result_sink.hpp"
+
+namespace qolsr {
+namespace {
+
+std::string run_to_csv(const std::vector<std::string>& flags) {
+  const ExperimentSpec spec = parse_experiment_spec(flags);
+  const ExperimentResult result = run_experiment(spec);
+  std::ostringstream os;
+  CsvSink{}.write(result, os);
+  return os.str();
+}
+
+/// The small fault-free packet scenario the robustness golden pin runs —
+/// the byte-stability baseline traffic must not disturb.
+std::vector<std::string> base_flags() {
+  return {"--backend=packet", "--densities=8", "--field=400x400",
+          "--runs=2",         "--seed=7",      "--threads=1",
+          "--format=csv"};
+}
+
+TEST(TrafficExperiment, LoadZeroIsByteIdenticalToNoTrafficFlags) {
+  // An inactive spec is contractually invisible: same RNG draws, same
+  // event order, same columns — the CLI's --load=0 must reproduce the
+  // no-flags run byte-for-byte.
+  const std::string plain = run_to_csv(base_flags());
+  auto flags = base_flags();
+  flags.push_back("--traffic=poisson");
+  flags.push_back("--load=0");
+  EXPECT_EQ(run_to_csv(flags), plain);
+  // And the traffic columns only exist when a workload can have run.
+  EXPECT_EQ(plain.find("queue_drops"), std::string::npos);
+  EXPECT_EQ(plain.find("latency_p95"), std::string::npos);
+}
+
+TEST(TrafficExperiment, ScheduleIsThreadCountInvariant) {
+  auto with_threads = [](const std::string& threads) {
+    return run_to_csv({"--backend=packet", "--densities=8", "--field=400x400",
+                       "--runs=4", "--seed=11", threads, "--format=csv",
+                       "--traffic=poisson", "--flows=8", "--load=2",
+                       "--traffic-duration=3", "--pairs=any"});
+  };
+  const std::string one = with_threads("--threads=1");
+  EXPECT_EQ(one, with_threads("--threads=3"));
+  // The traffic columns are present and the workload did something.
+  EXPECT_NE(one.find("latency_p95"), std::string::npos);
+  EXPECT_NE(one.find("flow_delivery_p50"), std::string::npos);
+}
+
+TEST(TrafficExperiment, EveryOfferedPacketIsChargedToAFate) {
+  const ExperimentSpec spec = parse_experiment_spec(
+      {"--backend=packet", "--densities=8", "--field=400x400", "--runs=2",
+       "--seed=5", "--threads=2", "--traffic=poisson", "--flows=8",
+       "--load=2", "--traffic-duration=3", "--queue-bytes=2000",
+       "--pairs=any"});
+  const ExperimentResult result = run_experiment(spec);
+  ASSERT_EQ(result.sweep.size(), 1u);
+  for (const ProtocolStats& p : result.sweep[0].protocols) {
+    SCOPED_TRACE(p.name);
+    ASSERT_TRUE(p.traffic.measured());
+    EXPECT_EQ(p.traffic.delivered + p.traffic.queue_drops +
+                  p.traffic.no_route_drops + p.traffic.loop_drops +
+                  p.traffic.medium_drops,
+              p.traffic.offered);
+    // Distributions carry one sample per flow per run / per delivery.
+    EXPECT_EQ(p.traffic.flow_delivery.count(), 8u * 2u);
+    EXPECT_EQ(p.traffic.latency.count(), p.traffic.delivered);
+  }
+}
+
+TEST(TrafficExperiment, LatencyGrowsAndDeliveryDecaysWithLoad) {
+  const ExperimentSpec spec = parse_experiment_spec(
+      {"--backend=packet", "--axis=load", "--densities=0.25,4", "--degree=8",
+       "--field=400x400", "--runs=2", "--seed=7", "--threads=2",
+       "--traffic=poisson", "--flows=16", "--traffic-duration=5",
+       "--pairs=any"});
+  const ExperimentResult result = run_experiment(spec);
+  ASSERT_EQ(result.sweep.size(), 2u);
+  const DensityStats& light = result.sweep[0];
+  const DensityStats& heavy = result.sweep[1];
+
+  double light_delivered = 0.0, heavy_delivered = 0.0;
+  double light_p95 = 0.0, heavy_p95 = 0.0;
+  std::size_t heavy_queue_drops = 0;
+  for (std::size_t si = 0; si < light.protocols.size(); ++si) {
+    light_delivered += light.protocols[si].traffic.delivery_ratio();
+    heavy_delivered += heavy.protocols[si].traffic.delivery_ratio();
+    light_p95 +=
+        summarize_distribution(light.protocols[si].traffic.latency).p95;
+    heavy_p95 +=
+        summarize_distribution(heavy.protocols[si].traffic.latency).p95;
+    heavy_queue_drops += heavy.protocols[si].traffic.queue_drops;
+  }
+  EXPECT_GT(heavy_p95, light_p95);
+  EXPECT_LT(heavy_delivered, light_delivered);
+  EXPECT_GT(heavy_queue_drops, 0u);
+}
+
+TEST(TrafficExperiment, PerRunRecordsCarryTheTrafficOutcome) {
+  const ExperimentSpec spec = parse_experiment_spec(
+      {"--backend=packet", "--densities=8", "--field=400x400", "--runs=2",
+       "--seed=7", "--threads=1", "--per-run", "--traffic=cbr", "--flows=4",
+       "--traffic-duration=2", "--pairs=any"});
+  const ExperimentResult result = run_experiment(spec);
+  ASSERT_EQ(result.sweep.size(), 1u);
+  ASSERT_EQ(result.sweep[0].run_records.size(), 2u);
+  for (const RunRecord& r : result.sweep[0].run_records) {
+    for (const RunRecord::Protocol& rp : r.protocols) {
+      EXPECT_GT(rp.traffic_offered, 0u);
+      EXPECT_LE(rp.traffic_delivered, rp.traffic_offered);
+    }
+  }
+  std::ostringstream os;
+  CsvSink{}.write(result, os);
+  EXPECT_NE(os.str().find(",traffic_offered,traffic_delivered,"
+                          "traffic_latency_p95"),
+            std::string::npos);
+}
+
+TEST(TrafficExperiment, FigureLSpecIsACannedLoadSweep) {
+  const ExperimentSpec spec = figure_l_spec();
+  EXPECT_EQ(spec.backend, BackendId::kPacket);
+  EXPECT_EQ(spec.scenario.sweep_axis, Scenario::SweepAxis::kLoad);
+  EXPECT_EQ(spec.scenario.traffic.arrival, TrafficSpec::Arrival::kPoisson);
+  EXPECT_TRUE(spec.scenario.traffic.active());
+  EXPECT_EQ(spec.selectors.size(), 5u);
+  EXPECT_EQ(spec.scenario.densities.size(), 5u);
+}
+
+TEST(TrafficExperiment, OracleBackendRejectsTrafficKnobs) {
+  // Semantic validation happens when the experiment runs (parse only
+  // checks flag vocabulary) — mirror the CLI's parse-then-run path.
+  EXPECT_THROW(run_experiment(parse_experiment_spec(
+                   {"--densities=10", "--runs=1", "--traffic=poisson"})),
+               ExperimentError);
+  EXPECT_THROW(run_experiment(parse_experiment_spec(
+                   {"--axis=load", "--densities=1", "--runs=1"})),
+               ExperimentError);
+  // The load axis needs an arrival process even on the packet backend.
+  EXPECT_THROW(run_experiment(parse_experiment_spec(
+                   {"--backend=packet", "--axis=load", "--densities=1",
+                    "--runs=1"})),
+               ExperimentError);
+  EXPECT_THROW(run_experiment(parse_experiment_spec(
+                   {"--backend=packet", "--densities=8", "--runs=1",
+                    "--traffic=pareto", "--pareto-shape=0.9"})),
+               ExperimentError);
+  // Unknown vocabulary is rejected at parse time.
+  EXPECT_THROW(parse_experiment_spec({"--traffic=bogus"}), ExperimentError);
+  EXPECT_THROW(parse_experiment_spec({"--pattern=bogus"}), ExperimentError);
+}
+
+TEST(TrafficExperiment, UnknownAxisErrorListsTheValidNames) {
+  try {
+    parse_experiment_spec({"--axis=bogus"});
+    FAIL() << "expected ExperimentError";
+  } catch (const ExperimentError& e) {
+    EXPECT_NE(std::string(e.what()).find("density|speed|loss|load"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace qolsr

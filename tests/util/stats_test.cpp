@@ -93,5 +93,51 @@ TEST(Quantile, SortedVariantAgrees) {
     EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(sorted, q));
 }
 
+TEST(DistributionAccumulator, SortedIsInvariantToMergeOrder) {
+  // The thread-invariance contract: however the per-worker partials are
+  // merged, the sorted sample (and thus every emitted statistic) is the
+  // same as the single-threaded accumulation.
+  Rng rng(13);
+  DistributionAccumulator whole, a, b, c;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(-2.0, 8.0);
+    whole.add(x);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+  }
+  DistributionAccumulator abc = a, cba = c;
+  abc.merge(b);
+  abc.merge(c);
+  cba.merge(b);
+  cba.merge(a);
+  EXPECT_EQ(abc.count(), whole.count());
+  EXPECT_EQ(abc.sorted(), whole.sorted());
+  EXPECT_EQ(cba.sorted(), whole.sorted());
+}
+
+TEST(DistributionAccumulator, EmptyMergeIsNoOp) {
+  DistributionAccumulator a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.sorted(), std::vector<double>{1.0});
+}
+
+TEST(HistogramSorted, CountsBucketsAndClampsOutliers) {
+  // [0, 4) in 4 bins of width 1; -1 clamps into the first bin, 4 and 9
+  // into the last.
+  const std::vector<double> sorted{-1.0, 0.5, 1.5, 1.7, 3.9, 4.0, 9.0};
+  const std::vector<std::size_t> expected{2, 2, 0, 3};
+  EXPECT_EQ(histogram_sorted(sorted, 0.0, 4.0, 4), expected);
+}
+
+TEST(HistogramSorted, DegenerateRangeFillsFirstBin) {
+  const std::vector<double> sorted{5.0, 5.0, 5.0};
+  const std::vector<std::size_t> expected{3, 0};
+  EXPECT_EQ(histogram_sorted(sorted, 5.0, 5.0, 2), expected);
+  // Zero buckets clamps to one; an empty sample yields all-zero counts.
+  EXPECT_EQ(histogram_sorted({}, 0.0, 1.0, 0), std::vector<std::size_t>{0});
+}
+
 }  // namespace
 }  // namespace qolsr::util

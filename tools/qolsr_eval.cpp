@@ -24,7 +24,7 @@
 namespace {
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: qolsr_eval [--figure=6|7|8|9|M|R] [flags]\n"
+  os << "usage: qolsr_eval [--figure=6|7|8|9|M|R|L] [flags]\n"
      << "\n"
      << "Runs one declarative experiment (a density sweep of ANS selection\n"
      << "heuristics under a QoS metric) and emits per-density aggregates.\n"
@@ -43,6 +43,12 @@ int usage(std::ostream& os, int exit_code) {
      << "probes per run, failure fates classified, plus a scheduled\n"
      << "single-node crash whose re-convergence is timed (pair with\n"
      << "--loss/--crash/--flap/--partition/--probes to customize).\n"
+     << "--figure=L is the load figure: flow delivery ratio, queue drops\n"
+     << "and p95 latency vs. offered load on the packet backend — a\n"
+     << "16-flow Poisson workload scaled by the sweep value, links\n"
+     << "draining at a capacity proportional to their bandwidth QoS\n"
+     << "(pair with --traffic/--pattern/--flows/--capacity/--queue-bytes\n"
+     << "to customize).\n"
      << "\n"
      << qolsr::experiment_flags_help()
      << "  --list-metrics        print metric names and exit\n"
@@ -81,12 +87,16 @@ int main(int argc, char** argv) {
         base = figure_r_spec(FigureConfig{});
         continue;
       }
+      if (value == "L" || value == "l") {
+        base = figure_l_spec(FigureConfig{});
+        continue;
+      }
       int figure = 0;
       const auto [ptr, ec] = std::from_chars(
           value.data(), value.data() + value.size(), figure);
       if (ec != std::errc{} || ptr != value.data() + value.size()) {
         std::cerr << "qolsr_eval: flag --figure: '" << value
-                  << "' is not a figure number or M\n";
+                  << "' is not a figure number, M, R or L\n";
         return 2;
       }
       try {
