@@ -143,6 +143,35 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
         throw ExperimentError("experiment '" + spec.name +
                               "': load sweep values must be >= 0");
   }
+  const AdversarySpec& adversaries = spec.scenario.adversaries;
+  if (!is_probability(adversaries.corrupt_rate))
+    throw ExperimentError("experiment '" + spec.name +
+                          "': --corrupt is a per-frame corruption "
+                          "probability in [0, 1]");
+  if (adversaries.count > 0 && adversaries.kinds.empty())
+    throw ExperimentError("experiment '" + spec.name +
+                          "': --adversaries=K@kind[,kind...] needs at least "
+                          "one kind when K > 0 (known: " +
+                          std::string(kAdversaryKindNames) + ")");
+  if (spec.scenario.sweep_axis == Scenario::SweepAxis::kAdversary) {
+    if (spec.backend != BackendId::kPacket)
+      throw ExperimentError("experiment '" + spec.name +
+                            "': the adversary axis needs --backend=packet "
+                            "(the oracle has no nodes to subvert)");
+    if (adversaries.kinds.empty())
+      throw ExperimentError("experiment '" + spec.name +
+                            "': the adversary axis needs roster kinds "
+                            "(--adversaries=K@kind[,kind...])");
+    for (const double fraction : spec.scenario.densities)
+      if (!is_probability(fraction))
+        throw ExperimentError("experiment '" + spec.name +
+                              "': adversary sweep values are roster "
+                              "fractions in [0, 1]");
+  } else if (adversaries.active() && spec.backend != BackendId::kPacket) {
+    throw ExperimentError("experiment '" + spec.name +
+                          "': the adversary engine (--adversaries/--corrupt)"
+                          " needs --backend=packet");
+  }
   const DynamicsSpec& dynamics = spec.scenario.dynamics;
   if (spec.scenario.sweep_axis == Scenario::SweepAxis::kSpeed) {
     if (dynamics.model != DynamicsSpec::Model::kWaypoint)
@@ -365,6 +394,24 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
       incident.kind = FaultIncident::Kind::kPartition;
       incident.duration = parse_double(flag, value);
       spec.scenario.faults.incidents.push_back(incident);
+    } else if (flag == "--adversaries") {
+      // K victims, optionally K@kind[,kind...] (round-robin roster roles).
+      AdversarySpec& adv = spec.scenario.adversaries;
+      const std::size_t at = value.find('@');
+      adv.count = parse_uint(flag, value.substr(0, at));
+      adv.kinds.clear();
+      if (at != std::string_view::npos) {
+        for (const std::string& kind : split_list(value.substr(at + 1))) {
+          const auto parsed = parse_adversary_kind(kind);
+          if (!parsed)
+            throw ExperimentError(
+                "flag --adversaries: unknown kind '" + kind +
+                "' (known: " + std::string(kAdversaryKindNames) + ")");
+          adv.kinds.push_back(*parsed);
+        }
+      }
+    } else if (flag == "--corrupt") {
+      spec.scenario.adversaries.corrupt_rate = parse_double(flag, value);
     } else if (flag == "--traffic") {
       TrafficSpec& traffic = spec.scenario.traffic;
       if (value == "none") {
@@ -464,14 +511,17 @@ std::string experiment_flags_help() {
       "  --churn-up=P          per-epoch P(failed link recovers) (0.25)\n"
       "  --refresh=N           epochs between TC refreshes; routing runs on\n"
       "                        the last refresh's advertised state (def. 1)\n"
-      "  --axis=density|speed|loss|load\n"
+      "  --axis=density|speed|loss|load|adversary\n"
       "                        meaning of the sweep values: mean degree,\n"
       "                        waypoint speed (fixes density at the --degree\n"
       "                        value; needs --mobility=waypoint), ambient\n"
       "                        frame-loss probability (fixes density; needs\n"
-      "                        --backend=packet — the figure R sweep), or\n"
+      "                        --backend=packet — the figure R sweep),\n"
       "                        offered-load multiplier (fixes density; needs\n"
-      "                        --backend=packet and --traffic — figure L)\n"
+      "                        --backend=packet and --traffic — figure L),\n"
+      "                        or adversary roster fraction (fixes density;\n"
+      "                        needs --backend=packet and --adversaries —\n"
+      "                        figure B)\n"
       "  --loss=P              ambient Bernoulli frame-loss probability of\n"
       "                        the packet backend's medium (default 0)\n"
       "  --probes=N            data probes routed per run/protocol pair\n"
@@ -485,6 +535,17 @@ std::string experiment_flags_help() {
       "                        (default 5; 0 = permanent) (repeatable)\n"
       "  --partition=D         schedule an id-halves network partition that\n"
       "                        heals after D seconds (0 = permanent)\n"
+      "  --adversaries=K@kind[,kind...]\n"
+      "                        subvert K random nodes per run (packet\n"
+      "                        backend): blackhole|liar|replayer|selfish,\n"
+      "                        roles assigned round-robin; the runtime\n"
+      "                        invariant monitor counts the protocol\n"
+      "                        violations they cause (under --axis=adversary\n"
+      "                        the sweep value is the roster *fraction*)\n"
+      "  --corrupt=P           per-delivered-frame wire bit-flip probability\n"
+      "                        (packet backend; flipped frames still arrive\n"
+      "                        and the hardened parser rejects what no\n"
+      "                        longer parses)\n"
       "  --traffic=PROC        none|poisson|cbr|pareto: schedule concurrent\n"
       "                        data flows after the probe phase, contending\n"
       "                        for per-link capacity; per-flow delivery,\n"

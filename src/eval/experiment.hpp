@@ -111,13 +111,17 @@ ExperimentResult run_experiment(
 ///   --mobility=MODEL      none|waypoint|churn epoch-loop evaluation
 ///   --epochs=N --epoch-duration=S --speed=V|LO:HI --pause=N
 ///   --churn-down=P --churn-up=P --refresh=N (TC refresh lag, epochs)
-///   --axis=density|speed|loss|load sweep-value meaning (--degree fixes
-///                         the density for non-density sweeps)
+///   --axis=density|speed|loss|load|adversary sweep-value meaning
+///                         (--degree fixes the density for non-density
+///                         sweeps)
 ///   --loss=P              ambient frame-loss probability (packet backend)
 ///   --probes=N            data probes per (run, protocol) (default 1)
 ///   --crash=K[@D] --flap=K[@D] --partition=D
 ///                         scheduled fault incidents injected after the
 ///                         measurement phase; re-convergence is timed
+///   --adversaries=K@kind[,kind...] subvert K nodes per run (blackhole|
+///                         liar|replayer|selfish, round-robin roles)
+///   --corrupt=P           per-frame wire bit-flip probability
 ///   --traffic=PROC        none|poisson|cbr|pareto flow arrival process
 ///   --pattern=P --flows=N --load=X --traffic-rate=R --traffic-duration=S
 ///   --pareto-shape=A --packet-bytes=N --capacity=C --queue-bytes=N

@@ -1,5 +1,7 @@
 #include "eval/figures.hpp"
 
+#include <cctype>
+
 #include "eval/result_sink.hpp"
 #include "eval/scenario.hpp"
 
@@ -114,6 +116,75 @@ ExperimentSpec figure_l_spec(const FigureConfig& config) {
   return spec;
 }
 
+ExperimentSpec figure_b_spec(const FigureConfig& config) {
+  ExperimentSpec spec;
+  spec.name = "figB_delivery_vs_adversaries";
+  spec.backend = BackendId::kPacket;
+  spec.metric = MetricId::kBandwidth;
+  spec.selectors = {"olsr_mpr", "qolsr_mpr1", "qolsr_mpr2",
+                    "topology_filtering", "fnbp"};
+  spec.scenario.sweep_axis = Scenario::SweepAxis::kAdversary;
+  spec.scenario.densities = {0.0, 0.05, 0.1, 0.2, 0.3};  // roster fraction
+  spec.scenario.field.degree = 10.0;
+  // Multi-hop flows: every traversed relay is another chance to hand the
+  // probe to a roster member, which the paper's 2-hop pairs would hide.
+  spec.scenario.pair_mode = Scenario::PairMode::kAnyConnected;
+  // Eight probes resolve the per-run delivery ratio; blackholes absorb
+  // what is routed through them, liars bend the routes toward phantom
+  // links — selectors that concentrate trust in fewer relays pay more.
+  spec.scenario.probe_packets = 8;
+  spec.scenario.adversaries.kinds = {AdversaryKind::kBlackhole,
+                                     AdversaryKind::kLiar};
+  spec.scenario.runs = config.runs;
+  spec.scenario.seed = config.seed;
+  spec.threads = config.threads;
+  return spec;
+}
+
+namespace {
+
+/// The one table behind --figure parsing: name → canned spec. Adding a
+/// figure is one row here; figure_names() and the unknown-name error both
+/// derive from it.
+struct FigureEntry {
+  std::string_view name;
+  ExperimentSpec (*make)(const FigureConfig&);
+};
+
+constexpr FigureEntry kFigureTable[] = {
+    {"6", [](const FigureConfig& c) { return figure_spec(6, c); }},
+    {"7", [](const FigureConfig& c) { return figure_spec(7, c); }},
+    {"8", [](const FigureConfig& c) { return figure_spec(8, c); }},
+    {"9", [](const FigureConfig& c) { return figure_spec(9, c); }},
+    {"M", figure_m_spec},
+    {"R", figure_r_spec},
+    {"L", figure_l_spec},
+    {"B", figure_b_spec},
+};
+
+}  // namespace
+
+std::string figure_names() {
+  std::string out;
+  for (const FigureEntry& entry : kFigureTable) {
+    if (!out.empty()) out += "|";
+    out += entry.name;
+  }
+  return out;
+}
+
+ExperimentSpec figure_by_name(std::string_view name,
+                              const FigureConfig& config) {
+  std::string upper(name);
+  for (char& c : upper)
+    c = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(c)));
+  for (const FigureEntry& entry : kFigureTable)
+    if (upper == entry.name) return entry.make(config);
+  throw ExperimentError("'" + std::string(name) +
+                        "' is not a figure (valid: " + figure_names() + ")");
+}
+
 util::Table traffic_table(const std::vector<DensityStats>& sweep,
                           const std::string& axis) {
   std::vector<std::string> header{axis};
@@ -159,6 +230,31 @@ util::Table degradation_table(const std::vector<DensityStats>& sweep,
           util::format_double(static_cast<double>(p.no_route_losses), 0));
       cells.push_back(
           util::format_double(p.control.reconvergence_time.mean(), 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+util::Table invariants_table(const std::vector<DensityStats>& sweep,
+                             const std::string& axis) {
+  std::vector<std::string> header{axis};
+  if (!sweep.empty()) {
+    for (const ProtocolStats& p : sweep.front().protocols) {
+      header.push_back(p.name + "_delivery");
+      header.push_back(p.name + "_violations");
+      header.push_back(p.name + "_poisoned");
+    }
+  }
+  util::Table table(std::move(header));
+  for (const DensityStats& d : sweep) {
+    std::vector<std::string> cells{util::format_double(d.density, 2)};
+    for (const ProtocolStats& p : d.protocols) {
+      cells.push_back(util::format_double(p.delivery_ratio(), 3));
+      cells.push_back(util::format_double(
+          static_cast<double>(p.invariants.counters.total()), 0));
+      cells.push_back(util::format_double(
+          static_cast<double>(p.invariants.poisoned_routes), 0));
     }
     table.add_row(std::move(cells));
   }

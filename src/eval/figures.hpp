@@ -57,6 +57,29 @@ ExperimentSpec figure_r_spec(const FigureConfig& config = {});
 /// as load grows. `qolsr_eval --figure=L` starts from this spec.
 ExperimentSpec figure_l_spec(const FigureConfig& config = {});
 
+/// "Fig. B" — the repository's canned Byzantine-robustness figure:
+/// delivery ratio and poisoned-route count vs. adversary roster fraction
+/// (0..0.3) under the packet backend, all five selectors, bandwidth
+/// metric, any-connected multi-hop pairs at fixed density δ = 10. Each
+/// sweep point subverts that fraction of the nodes (blackhole and liar
+/// roles round-robin), the runtime invariant monitor counts the protocol
+/// violations as they form, and eight data probes per run resolve how much
+/// delivery each selector's relay choices surrender to the roster. The
+/// fraction = 0 column is byte-identical to an honest packet sweep — the
+/// pin CI holds it to. `qolsr_eval --figure=B` starts from this spec.
+ExperimentSpec figure_b_spec(const FigureConfig& config = {});
+
+/// Pipe-separated list of the valid --figure names ("6|7|8|9|M|R|L|B"),
+/// for error messages and usage text.
+std::string figure_names();
+
+/// The one figure table every consumer shares: resolves a --figure value —
+/// a paper figure number or a canned letter figure, letters
+/// case-insensitive — to its spec. Throws ExperimentError naming the valid
+/// figures on an unknown value; adding a figure is one row in the table.
+ExperimentSpec figure_by_name(std::string_view name,
+                              const FigureConfig& config = {});
+
 /// Fig. 6 — size of the advertised set vs. density, bandwidth metric.
 util::Table figure6_ans_size_bandwidth(const FigureConfig& config = {});
 
@@ -109,5 +132,11 @@ util::Table degradation_table(const std::vector<DensityStats>& sweep,
 /// packet-backend sweeps with an active TrafficSpec (or the load axis).
 util::Table traffic_table(const std::vector<DensityStats>& sweep,
                           const std::string& axis = "load");
+/// The adversary-engine series: delivery ratio, invariant violations
+/// caught by the runtime monitor, and poisoned-route count per sweep
+/// point. Meaningful only for packet-backend sweeps with an active
+/// AdversarySpec (or the adversary axis).
+util::Table invariants_table(const std::vector<DensityStats>& sweep,
+                             const std::string& axis = "adversary");
 
 }  // namespace qolsr

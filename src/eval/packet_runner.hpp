@@ -51,8 +51,11 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
                         DensityStats& stats, PacketEvalWorkspace& ws) {
   const bool loss_axis = scenario.sweep_axis == Scenario::SweepAxis::kLoss;
   const bool load_axis = scenario.sweep_axis == Scenario::SweepAxis::kLoad;
-  const double density =
-      loss_axis || load_axis ? scenario.field.degree : axis_value;
+  const bool adversary_axis =
+      scenario.sweep_axis == Scenario::SweepAxis::kAdversary;
+  const double density = loss_axis || load_axis || adversary_axis
+                             ? scenario.field.degree
+                             : axis_value;
   FaultPlan plan = scenario.faults;
   if (loss_axis) plan.loss_rate = axis_value;
   const FaultPlan* faults = plan.active() ? &plan : nullptr;
@@ -62,6 +65,14 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
   TrafficSpec traffic = scenario.traffic;
   if (load_axis) traffic.load = axis_value;
   const TrafficSpec* traffic_spec = traffic.active() ? &traffic : nullptr;
+  // An adversary-axis sweep overrides the spec's roster fraction with the
+  // sweep value; fraction = 0 deactivates the spec entirely (unless it also
+  // corrupts the wire), so that sweep point reproduces the honest figures
+  // exactly.
+  AdversarySpec adversaries = scenario.adversaries;
+  if (adversary_axis) adversaries.fraction = axis_value;
+  const AdversarySpec* adv_spec =
+      adversaries.active() ? &adversaries : nullptr;
 
   util::Rng rng(run_seed);
   SampledRun run = sample_run<M>(scenario, density, rng, ws.eval);
@@ -93,7 +104,7 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
     // graph is borrowed, never copied — faults live in the simulator's
     // overlay, and `run` outlives every reset of this loop.
     ws.sim.reset(run.graph, flooding, ans, std::move(route), run_seed,
-                 faults, traffic_spec);
+                 faults, traffic_spec, adv_spec);
     const ConvergenceReport report = ws.sim.run_to_convergence();
 
     ProtocolStats& ps = stats.protocols[si];
@@ -174,6 +185,11 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
           case Drop::kTtl:
             ++ps.loop_losses;
             break;
+          case Drop::kQueueDrop:  // probes only queue-drop under traffic
+            break;
+          case Drop::kAdversary:   // absorbed by a misbehaving relay —
+          case Drop::kMalformed:   // or wire-corrupted; both are counted
+            break;                 // in the invariants block below
           case Drop::kNone:  // vanished in flight: the medium took it
             ++ps.medium_losses;
             break;
@@ -242,6 +258,9 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
             case Drop::kTtl:
               ++ps.traffic.loop_drops;
               break;
+            case Drop::kAdversary:  // charged to the invariants block, not
+            case Drop::kMalformed:  // the traffic fates (which then sum to
+              break;                // offered-delivered only honestly)
             case Drop::kNone:  // vanished in flight: the medium took it
               ++ps.traffic.medium_drops;
               break;
@@ -261,6 +280,44 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
       traffic_offered_run = matrix.packets().size();
     }
 
+    // ---- adversary engine (active AdversarySpec only) -------------------
+    // Audit the converged TopologyBases against the ground truth (phantom
+    // links, inflated QoS, poisoned holders), then fold the monitor's
+    // event counters. Ordered after probes and traffic so every honest
+    // figure above stays byte-identical when the roster is empty — and
+    // before the incident loop, whose re-convergences would blur the
+    // converged-state audit.
+    std::size_t poisoned_routes_run = 0;
+    std::size_t violations_run = 0;
+    if (adv_spec != nullptr) {
+      audit_topology(ws.sim.monitor(), ws.sim, run.graph);
+      // A failed probe whose recorded journey visited a roster member was
+      // routed into the adversary's hands — a poisoned route, as opposed
+      // to an honest routing failure.
+      for (std::uint32_t pid = 1; pid <= probes; ++pid) {
+        const auto journey = trace.journeys.find(pid);
+        if (journey == trace.journeys.end() || journey->second.delivered)
+          continue;
+        for (const NodeId hop : journey->second.path) {
+          if (ws.sim.is_adversary(hop)) {
+            ++poisoned_routes_run;
+            break;
+          }
+        }
+      }
+      const InvariantCounters& caught = ws.sim.monitor().counters();
+      ps.invariants.counters.add(caught);
+      ps.invariants.frames_corrupted.add(
+          static_cast<double>(trace.frames_corrupted));
+      ps.invariants.frames_malformed.add(
+          static_cast<double>(trace.frames_malformed));
+      if (ws.sim.monitor().first_violation_at() >= 0.0)
+        ps.invariants.time_to_first_violation.add(
+            ws.sim.monitor().first_violation_at());
+      ps.invariants.poisoned_routes += poisoned_routes_run;
+      violations_run = caught.total();
+    }
+
     if (scenario.record_runs) {
       RunRecord::Protocol& rp = record.protocols[si];
       rp.set_size = set_size;
@@ -274,6 +331,8 @@ void execute_packet_run(const Scenario& scenario, double axis_value,
       rp.traffic_delivered = traffic_delivered_run;
       rp.traffic_latency_p95 =
           util::quantile_sorted(run_latency.sorted(), 0.95);
+      rp.invariant_violations = violations_run;
+      rp.poisoned_routes = poisoned_routes_run;
       if (probes_delivered > 0) {
         rp.value = first_value;
         rp.overhead = first_overhead;

@@ -121,6 +121,17 @@ bool traffic_mode(const ExperimentSpec& spec) {
           spec.scenario.sweep_axis == Scenario::SweepAxis::kLoad);
 }
 
+/// Same opt-in discipline for the adversary-engine columns/fields: they
+/// exist only where a roster (or the wire-corruption gate) can have run —
+/// a packet-backend result whose scenario carries an active AdversarySpec
+/// or sweeps the adversary axis. A packet sweep with no adversary flags
+/// keeps its pre-adversary byte layout.
+bool adversary_mode(const ExperimentSpec& spec) {
+  return spec.backend == BackendId::kPacket &&
+         (spec.scenario.adversaries.active() ||
+          spec.scenario.sweep_axis == Scenario::SweepAxis::kAdversary);
+}
+
 /// JSON object form of a DistributionSummary.
 std::string json_distribution(const util::DistributionAccumulator& dist) {
   const DistributionSummary s = summarize_distribution(dist);
@@ -173,12 +184,14 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
   // and the probe split; the oracle layout is pinned and keeps its form.
   const bool packet = result.spec.backend == BackendId::kPacket;
   const bool traffic = traffic_mode(result.spec);
+  const bool adversary = adversary_mode(result.spec);
   os << '\n' << sweep_axis_name(result.spec.scenario.sweep_axis)
      << ",run,nodes,protocol,set_size,delivered,value,overhead,path_hops";
   if (packet)
     os << ",convergence_time,converged,control_bytes,probes_delivered,"
           "probes_failed";
   if (traffic) os << ",traffic_offered,traffic_delivered,traffic_latency_p95";
+  if (adversary) os << ",invariant_violations,poisoned_routes";
   os << '\n';
   for (const DensityStats& d : result.sweep) {
     for (const RunRecord& r : d.run_records) {
@@ -201,6 +214,9 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
           os << ',' << rp.traffic_offered << ',' << rp.traffic_delivered
              << ',' << fmt(rp.traffic_latency_p95);
         }
+        if (adversary) {
+          os << ',' << rp.invariant_violations << ',' << rp.poisoned_routes;
+        }
         os << '\n';
       }
     }
@@ -214,6 +230,7 @@ void write_run_records_csv(const ExperimentResult& result, std::ostream& os) {
 void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
   const bool faults = fault_mode(result.spec);
   const bool traffic = traffic_mode(result.spec);
+  const bool adversary = adversary_mode(result.spec);
   os << static_csv_header(result.spec)
      << ",hello_msgs_mean,tc_msgs_mean,tc_forwards_mean,"
         "duplicate_drops_mean,control_bytes_mean,convergence_time_mean,"
@@ -229,11 +246,20 @@ void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
           "traffic_medium_drops,latency_p50,latency_p95,latency_p99,"
           "flow_delivery_p50,flow_delivery_p95,flow_delivery_p99,"
           "throughput_p50,throughput_p95,throughput_p99";
+  if (adversary)
+    os << ",adversary_fraction,adversary_count,corrupt_rate,"
+          "adversary_delivery_ratio,invariant_violations,forwarding_loops,"
+          "blackhole_absorptions,mpr_refusals,ansn_regressions,"
+          "stale_tc_rejections,phantom_links,inflated_qos,poisoned_nodes,"
+          "poisoned_routes,frames_corrupted_mean,frames_malformed_mean,"
+          "first_violation_mean";
   os << '\n';
   const bool loss_axis =
       result.spec.scenario.sweep_axis == Scenario::SweepAxis::kLoss;
   const bool load_axis =
       result.spec.scenario.sweep_axis == Scenario::SweepAxis::kLoad;
+  const bool adversary_axis =
+      result.spec.scenario.sweep_axis == Scenario::SweepAxis::kAdversary;
   for (const DensityStats& d : result.sweep) {
     for (const ProtocolStats& p : d.protocols) {
       write_static_csv_row_prefix(result, d, p, os);
@@ -281,6 +307,23 @@ void write_packet_csv(const ExperimentResult& result, std::ostream& os) {
            << ',' << fmt(throughput.p50) << ',' << fmt(throughput.p95)
            << ',' << fmt(throughput.p99);
       }
+      if (adversary) {
+        const AdversarySpec& adv = result.spec.scenario.adversaries;
+        const double fraction =
+            adversary_axis ? d.density : (adv.fraction >= 0.0 ? adv.fraction
+                                                              : 0.0);
+        const InvariantCounters& c = p.invariants.counters;
+        os << ',' << fmt(fraction) << ',' << adv.count << ','
+           << fmt(adv.corrupt_rate) << ',' << fmt(p.delivery_ratio()) << ','
+           << c.total() << ',' << c.forwarding_loops << ','
+           << c.blackhole_absorptions << ',' << c.mpr_refusals << ','
+           << c.ansn_regressions << ',' << c.stale_tc_rejections << ','
+           << c.phantom_links << ',' << c.inflated_qos << ','
+           << c.poisoned_nodes << ',' << p.invariants.poisoned_routes << ','
+           << fmt(p.invariants.frames_corrupted.mean()) << ','
+           << fmt(p.invariants.frames_malformed.mean()) << ','
+           << fmt(p.invariants.time_to_first_violation.mean());
+      }
       os << '\n';
     }
   }
@@ -320,6 +363,21 @@ void PrettyTableSink::write(const ExperimentResult& result,
                : fmt(t.load))
        << "\n";
   }
+  const bool adversary = adversary_mode(spec);
+  if (adversary) {
+    const AdversarySpec& adv = spec.scenario.adversaries;
+    std::string kinds;
+    for (const AdversaryKind kind : adv.kinds) {
+      if (!kinds.empty()) kinds += ",";
+      kinds += adversary_kind_name(kind);
+    }
+    os << "# adversaries: roster="
+       << (spec.scenario.sweep_axis == Scenario::SweepAxis::kAdversary
+               ? "<sweep axis>"
+               : std::to_string(adv.count))
+       << " kinds=" << (kinds.empty() ? "none" : kinds)
+       << " corrupt=" << fmt(adv.corrupt_rate) << "\n";
+  }
   if (dynamic) {
     const DynamicsSpec& dyn = spec.scenario.dynamics;
     os << "# mobility="
@@ -344,6 +402,10 @@ void PrettyTableSink::write(const ExperimentResult& result,
     os << "\n## traffic under load (flow delivery ratio, queue-tail drops, "
           "p95 end-to-end latency in ms)\n"
        << traffic_table(result.sweep, axis).to_string();
+  if (adversary)
+    os << "\n## adversary engine (delivery ratio, invariant violations "
+          "caught by the runtime monitor, poisoned routes)\n"
+       << invariants_table(result.sweep, axis).to_string();
   bool has_control = false;
   for (const DensityStats& d : result.sweep)
     for (const ProtocolStats& p : d.protocols)
@@ -420,6 +482,7 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
   const bool dynamic = spec.scenario.dynamics.enabled();
   const bool faults = fault_mode(spec);
   const bool traffic = traffic_mode(spec);
+  const bool adversary = adversary_mode(spec);
   if (traffic) {
     const TrafficSpec& t = spec.scenario.traffic;
     if (!faults)
@@ -453,6 +516,18 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
        << ", \"flap_incidents\": " << flaps
        << ", \"partition_incidents\": " << partitions
        << ", \"probe_packets\": " << spec.scenario.probe_packets << "},\n";
+  }
+  if (adversary) {
+    const AdversarySpec& adv = spec.scenario.adversaries;
+    if (!faults && !traffic)
+      os << "  \"axis\": \"" << sweep_axis_name(spec.scenario.sweep_axis)
+         << "\",\n";
+    os << "  \"adversaries\": {\"count\": " << adv.count
+       << ", \"fraction\": " << fmt(adv.fraction) << ", \"kinds\": [";
+    for (std::size_t i = 0; i < adv.kinds.size(); ++i)
+      os << (i ? ", " : "") << '"' << adversary_kind_name(adv.kinds[i])
+         << '"';
+    os << "], \"corrupt_rate\": " << fmt(adv.corrupt_rate) << "},\n";
   }
   if (dynamic) {
     const DynamicsSpec& dyn = spec.scenario.dynamics;
@@ -515,6 +590,27 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
            << ",\n           \"flow_throughput\": "
            << json_distribution(p.traffic.flow_throughput) << "}";
       }
+      if (adversary) {
+        const InvariantCounters& c = p.invariants.counters;
+        os << ",\n         \"invariants\": {"
+           << "\n           \"total\": " << c.total()
+           << ", \"forwarding_loops\": " << c.forwarding_loops
+           << ", \"blackhole_absorptions\": " << c.blackhole_absorptions
+           << ", \"mpr_refusals\": " << c.mpr_refusals
+           << ",\n           \"ansn_regressions\": " << c.ansn_regressions
+           << ", \"stale_tc_rejections\": " << c.stale_tc_rejections
+           << ", \"phantom_links\": " << c.phantom_links
+           << ", \"inflated_qos\": " << c.inflated_qos
+           << ", \"poisoned_nodes\": " << c.poisoned_nodes
+           << ",\n           \"poisoned_routes\": "
+           << p.invariants.poisoned_routes
+           << ",\n           \"frames_corrupted\": "
+           << json_stats(p.invariants.frames_corrupted)
+           << ",\n           \"frames_malformed\": "
+           << json_stats(p.invariants.frames_malformed)
+           << ",\n           \"time_to_first_violation\": "
+           << json_stats(p.invariants.time_to_first_violation) << "}";
+      }
       if (p.control.measured()) {
         os << ",\n         \"control_plane\": {"
            << "\n           \"hello_msgs\": " << json_stats(p.control.hello_msgs)
@@ -568,6 +664,9 @@ void JsonSink::write(const ExperimentResult& result, std::ostream& os) const {
                << ", \"traffic_delivered\": " << rp.traffic_delivered
                << ", \"traffic_latency_p95\": "
                << json_num(rp.traffic_latency_p95);
+          if (adversary)
+            os << ", \"invariant_violations\": " << rp.invariant_violations
+               << ", \"poisoned_routes\": " << rp.poisoned_routes;
           os << "}";
         }
         os << "]}";

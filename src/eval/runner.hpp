@@ -18,6 +18,7 @@
 #include "path/dijkstra.hpp"
 #include "routing/advertised_topology.hpp"
 #include "routing/forwarding.hpp"
+#include "sim/invariants.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -117,6 +118,38 @@ struct TrafficStats {
   }
 };
 
+/// Invariant-monitor outcome of one protocol at one sweep point (packet
+/// backend with an active AdversarySpec; empty otherwise). The counters
+/// are violation totals across runs; the distributions sample per run so
+/// the sinks can report how early and how hard the roster bites.
+struct InvariantStats {
+  /// Violation counters summed across runs (sim/invariants.hpp).
+  InvariantCounters counters;
+  /// Frames the wire-corruption gate flipped, per run.
+  util::RunningStats frames_corrupted;
+  /// Received frames the hardened parser rejected, per run.
+  util::RunningStats frames_malformed;
+  /// Seconds of simulated time from run start to the first monitored
+  /// violation; one sample per run that had any (violation-free runs
+  /// contribute nothing, so the mean is conditional).
+  util::RunningStats time_to_first_violation;
+  /// Failed probes whose recorded journey visited an adversary — routes
+  /// the roster poisoned, as opposed to honest routing failures.
+  std::size_t poisoned_routes = 0;
+
+  bool measured() const {
+    return frames_corrupted.count() > 0 || counters.total() > 0;
+  }
+
+  void merge(const InvariantStats& other) {
+    counters.add(other.counters);
+    frames_corrupted.merge(other.frames_corrupted);
+    frames_malformed.merge(other.frames_malformed);
+    time_to_first_violation.merge(other.time_to_first_violation);
+    poisoned_routes += other.poisoned_routes;
+  }
+};
+
 /// Aggregated measurements of one protocol at one sweep point. Static
 /// sweeps sample once per run; the dynamics epoch loop samples once per
 /// measured epoch (set_size, overhead, path_hops, delivered/failed) and
@@ -159,6 +192,9 @@ struct ProtocolStats {
   util::DistributionAccumulator probe_delivery;
   /// Flow-level outcomes of the traffic workload (active TrafficSpec only).
   TrafficStats traffic;
+  /// Invariant-monitor outcome under the adversary engine (active
+  /// AdversarySpec only).
+  InvariantStats invariants;
 
   /// Delivered fraction of attempted packets (0 when none were attempted)
   /// — the headline dynamics series, shared by every result emitter.
@@ -191,6 +227,9 @@ struct RunRecord {
     std::size_t traffic_offered = 0;    ///< data packets scheduled this run
     std::size_t traffic_delivered = 0;  ///< of those, delivered
     double traffic_latency_p95 = 0.0;   ///< this run's p95 latency, seconds
+    // ---- adversary engine (defaults without an active AdversarySpec) -----
+    std::size_t invariant_violations = 0;  ///< monitor total() this run
+    std::size_t poisoned_routes = 0;  ///< failed probes through an adversary
   };
   std::vector<Protocol> protocols;  ///< same order as DensityStats::protocols
 };
@@ -405,6 +444,7 @@ inline void merge_into(DensityStats& into, DensityStats& from) {
     a.control.merge(b.control);
     a.probe_delivery.merge(b.probe_delivery);
     a.traffic.merge(b.traffic);
+    a.invariants.merge(b.invariants);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/deployment.hpp"
+#include "sim/adversary.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/traffic.hpp"
 
@@ -126,6 +127,15 @@ struct Scenario {
   /// the packet backend byte-identical to a traffic-free run. Packet
   /// backend only; the oracle has no medium to load.
   TrafficSpec traffic;
+  /// The adversary roster + wire-corruption engine applied to every
+  /// packet-backend run: misbehaving nodes (blackhole, liar, replayer,
+  /// selfish — sim/adversary.hpp) drawn from a dedicated seeded stream,
+  /// plus seeded bit-flips on delivered frames, with the runtime invariant
+  /// monitor armed to count the protocol violations they cause. Inactive
+  /// by default — an inactive spec leaves the packet backend byte-identical
+  /// to an honest run. Packet backend only; the oracle has no nodes to
+  /// subvert.
+  AdversarySpec adversaries;
   /// Data probes routed per (run, protocol) between the shared sampled
   /// pair. 1 (the default) reproduces the classic single-packet
   /// delivered/failed figure; lossy scenarios want more probes so the
@@ -142,8 +152,11 @@ struct Scenario {
   /// kLoad (packet backend only, traffic spec required): offered-load
   /// multiplier — each sweep point sets `traffic.load` to the value at
   /// fixed `field.degree` density (the x-axis of figure L, QoS under
-  /// load).
-  enum class SweepAxis { kDensity, kSpeed, kLoss, kLoad };
+  /// load). kAdversary (packet backend only, adversary kinds required):
+  /// adversary fraction — each sweep point sets `adversaries.fraction` to
+  /// the value at fixed `field.degree` density (the x-axis of figure B,
+  /// delivery and poisoned routes vs. adversary fraction).
+  enum class SweepAxis { kDensity, kSpeed, kLoss, kLoad, kAdversary };
   SweepAxis sweep_axis = SweepAxis::kDensity;
 };
 
@@ -159,6 +172,7 @@ inline constexpr SweepAxisInfo kSweepAxes[] = {
     {Scenario::SweepAxis::kSpeed, "speed"},
     {Scenario::SweepAxis::kLoss, "loss"},
     {Scenario::SweepAxis::kLoad, "load"},
+    {Scenario::SweepAxis::kAdversary, "adversary"},
 };
 
 /// Column label of the sweep axis in emitted results.

@@ -1,6 +1,7 @@
 #include "proto/messages.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 namespace qolsr {
@@ -68,6 +69,7 @@ class Reader {
     return true;
   }
   bool done() const { return pos_ == in_.size(); }
+  std::size_t remaining() const { return in_.size() - pos_; }
 
  private:
   const std::vector<std::byte>& in_;
@@ -106,6 +108,11 @@ void write_advert(Writer& w, const LinkAdvert& a) {
   w.f64(a.qos.buffers);
 }
 
+/// Every QoS quantity on the wire is a nonnegative finite measurement; a
+/// NaN/Inf/negative double (a bit-flipped frame, or a hostile sender) must
+/// not reach the metric algebra.
+bool valid_qos(double v) { return std::isfinite(v) && v >= 0.0; }
+
 bool read_advert(Reader& r, LinkAdvert& a) {
   std::uint8_t status = 0;
   if (!r.u32(a.neighbor) || !r.u8(status) || !r.f64(a.qos.bandwidth) ||
@@ -115,6 +122,10 @@ bool read_advert(Reader& r, LinkAdvert& a) {
     return false;
   if (status < static_cast<std::uint8_t>(LinkStatus::kAsymmetric) ||
       status > static_cast<std::uint8_t>(LinkStatus::kMpr))
+    return false;
+  if (!valid_qos(a.qos.bandwidth) || !valid_qos(a.qos.delay) ||
+      !valid_qos(a.qos.jitter) || !valid_qos(a.qos.loss_cost) ||
+      !valid_qos(a.qos.energy) || !valid_qos(a.qos.buffers))
     return false;
   a.status = static_cast<LinkStatus>(status);
   return true;
@@ -174,6 +185,10 @@ std::optional<ParsedPacket> parse_packet(const std::vector<std::byte>& bytes) {
       if (!r.u32(hello.originator) || !r.u8(hello.willingness) ||
           !r.u16(count))
         return std::nullopt;
+      // Length check before allocation: a hostile count field must not
+      // size a vector the payload cannot back (and trailing garbage is
+      // rejected here instead of after count adverts of work).
+      if (r.remaining() != count * kAdvertBytes) return std::nullopt;
       hello.links.resize(count);
       for (LinkAdvert& a : hello.links)
         if (!read_advert(r, a)) return std::nullopt;
@@ -186,6 +201,7 @@ std::optional<ParsedPacket> parse_packet(const std::vector<std::byte>& bytes) {
       std::uint16_t count = 0;
       if (!r.u32(tc.originator) || !r.u16(tc.ansn) || !r.u16(count))
         return std::nullopt;
+      if (r.remaining() != count * kAdvertBytes) return std::nullopt;
       tc.advertised.resize(count);
       for (LinkAdvert& a : tc.advertised)
         if (!read_advert(r, a)) return std::nullopt;

@@ -54,6 +54,12 @@ std::uint64_t TopologyBase::digest(std::uint64_t h) const {
   return h;
 }
 
+std::optional<std::uint16_t> TopologyBase::ansn_of(NodeId originator) const {
+  auto it = entries_.find(originator);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.ansn;
+}
+
 std::vector<NodeId> TopologyBase::advertised_of(NodeId originator) const {
   std::vector<NodeId> result;
   auto it = entries_.find(originator);

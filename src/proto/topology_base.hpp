@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -9,6 +10,14 @@
 #include "proto/messages.hpp"
 
 namespace qolsr {
+
+/// RFC 3626 §19 circular comparison over the 16-bit sequence space: is
+/// `a` newer than `b`? Wrap-aware — 0 is newer than 65535 — and exactly
+/// half the space (32768 values) counts as "newer", so a stale replay from
+/// the recent past is always rejected while an honest wrap is accepted.
+inline bool ansn_newer(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a - b) < 0x8000 && a != b;
+}
 
 /// RFC 3626 topology information base: what a node has learned from TC
 /// floods. Keyed by originator; a newer ANSN replaces the stale advert,
@@ -42,6 +51,19 @@ class TopologyBase {
   /// Live advertised set of one originator (empty when unknown).
   std::vector<NodeId> advertised_of(NodeId originator) const;
 
+  /// The ANSN currently held for `originator` (nullopt when unknown) — the
+  /// value a fresher TC must beat under ansn_newer.
+  std::optional<std::uint16_t> ansn_of(NodeId originator) const;
+
+  /// Visits every held advert as (originator, advert), in deterministic
+  /// (ordered-map) order — the invariant monitor's audit walks this to
+  /// compare a converged base against the ground-truth graph.
+  template <typename Fn>
+  void for_each_advert(Fn&& fn) const {
+    for (const auto& [originator, entry] : entries_)
+      for (const LinkAdvert& a : entry.advertised) fn(originator, a);
+  }
+
   std::size_t originator_count() const { return entries_.size(); }
 
   /// Folds the advertised topology — (originator, advertised neighbor)
@@ -60,7 +82,7 @@ class TopologyBase {
 
   /// ANSN comparison with wrap-around (RFC 3626 §9.2 semantics).
   static bool newer(std::uint16_t a, std::uint16_t b) {
-    return static_cast<std::uint16_t>(a - b) < 0x8000 && a != b;
+    return ansn_newer(a, b);
   }
 
   double hold_time_;

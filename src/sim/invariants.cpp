@@ -1,0 +1,44 @@
+#include "sim/invariants.hpp"
+
+#include "graph/graph.hpp"
+#include "proto/topology_base.hpp"
+#include "sim/simulator.hpp"
+
+namespace qolsr {
+
+void InvariantMonitor::record_tc_emission(NodeId originator,
+                                          std::uint16_t ansn, SimTime now) {
+  auto [it, inserted] = last_ansn_.try_emplace(originator, ansn);
+  if (inserted) return;
+  if (ansn_newer(ansn, it->second)) {
+    it->second = ansn;  // honest advance (wrap-aware)
+  } else if (ansn != it->second) {
+    ++counters_.ansn_regressions;  // went backwards: a replayed TC
+    mark(now);
+  }
+}
+
+void audit_topology(InvariantMonitor& monitor, const Simulator& sim,
+                    const Graph& truth) {
+  for (NodeId holder = 0; holder < sim.node_count(); ++holder) {
+    bool poisoned = false;
+    sim.node(holder).topology().for_each_advert(
+        [&](NodeId originator, const LinkAdvert& advert) {
+          if (originator >= truth.node_count() ||
+              advert.neighbor >= truth.node_count() ||
+              !truth.has_edge(originator, advert.neighbor)) {
+            monitor.record_phantom_link();
+            poisoned = true;
+            return;
+          }
+          const LinkQos* real = truth.edge_qos(originator, advert.neighbor);
+          if (real != nullptr && advert.qos.bandwidth > real->bandwidth) {
+            monitor.record_inflated_qos();
+            poisoned = true;
+          }
+        });
+    if (poisoned) monitor.record_poisoned_node();
+  }
+}
+
+}  // namespace qolsr

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "graph/node_id.hpp"
+#include "sim/event_queue.hpp"
+
+namespace qolsr {
+
+class Graph;
+class Simulator;
+
+/// What the runtime invariant monitor has caught so far. Every counter is
+/// a *violation of a protocol invariant*, detected as it forms — not an
+/// end-of-run statistic. The first six fire during event processing; the
+/// last three are filled by audit_topology's comparison of converged
+/// TopologyBases against the ground-truth graph.
+struct InvariantCounters {
+  /// A data frame revisited a node already on its recorded path — a
+  /// forwarding loop (the TTL would eventually kill it; the monitor sees
+  /// it the moment the duplicate hop happens).
+  std::uint64_t forwarding_loops = 0;
+  /// A relay that accepted MPR duty silently absorbed a frame (data or
+  /// TC) it was obligated to forward.
+  std::uint64_t blackhole_absorptions = 0;
+  /// A selected MPR declined TC-forwarding duty (selfish, not absorbing
+  /// data).
+  std::uint64_t mpr_refusals = 0;
+  /// A node emitted a TC whose ANSN is older (circular, RFC 3626 §19)
+  /// than an ANSN the monitor already saw that originator advertise —
+  /// the signature of a replayed control frame.
+  std::uint64_t ansn_regressions = 0;
+  /// A receiver's TopologyBase rejected a TC as stale (older ANSN than
+  /// held) — the protocol's own defense firing, counted per receiver.
+  std::uint64_t stale_tc_rejections = 0;
+  /// Audit: held adverts naming links absent from the ground truth.
+  std::uint64_t phantom_links = 0;
+  /// Audit: held adverts whose bandwidth QoS exceeds the true link value.
+  std::uint64_t inflated_qos = 0;
+  /// Audit: nodes holding at least one phantom or inflated advert.
+  std::uint64_t poisoned_nodes = 0;
+
+  /// Total monitored-event violations (audit counters excluded: they are
+  /// a state audit, not events).
+  std::uint64_t events() const {
+    return forwarding_loops + blackhole_absorptions + mpr_refusals +
+           ansn_regressions + stale_tc_rejections;
+  }
+  std::uint64_t total() const {
+    return events() + phantom_links + inflated_qos;
+  }
+
+  /// Member-wise accumulation (the eval layer folds one run's counters
+  /// into the sweep-point aggregate with this).
+  void add(const InvariantCounters& other) {
+    forwarding_loops += other.forwarding_loops;
+    blackhole_absorptions += other.blackhole_absorptions;
+    mpr_refusals += other.mpr_refusals;
+    ansn_regressions += other.ansn_regressions;
+    stale_tc_rejections += other.stale_tc_rejections;
+    phantom_links += other.phantom_links;
+    inflated_qos += other.inflated_qos;
+    poisoned_nodes += other.poisoned_nodes;
+  }
+};
+
+/// Runtime protocol-invariant monitor, owned by the Simulator and armed
+/// only when an AdversarySpec is active — honest nodes carry a null
+/// monitor pointer and pay nothing, so adversary-free runs stay
+/// byte-identical. Nodes report suspicious events as they process them;
+/// the monitor timestamps the first violation and keeps per-originator
+/// ANSN high-water marks to spot regressions (replays) at emission time.
+class InvariantMonitor {
+ public:
+  void reset() {
+    counters_ = {};
+    last_ansn_.clear();
+    first_violation_at_ = -1.0;
+  }
+
+  void record_forwarding_loop(SimTime now) {
+    ++counters_.forwarding_loops;
+    mark(now);
+  }
+  void record_blackhole_absorption(SimTime now) {
+    ++counters_.blackhole_absorptions;
+    mark(now);
+  }
+  void record_mpr_refusal(SimTime now) {
+    ++counters_.mpr_refusals;
+    mark(now);
+  }
+  void record_stale_tc_rejection(SimTime now) {
+    ++counters_.stale_tc_rejections;
+    mark(now);
+  }
+
+  /// Called for every TC a node puts on the wire (originated or
+  /// replayed): flags an ANSN older than the originator's high-water mark.
+  void record_tc_emission(NodeId originator, std::uint16_t ansn, SimTime now);
+
+  /// Audit-side recorders (audit_topology).
+  void record_phantom_link() { ++counters_.phantom_links; }
+  void record_inflated_qos() { ++counters_.inflated_qos; }
+  void record_poisoned_node() { ++counters_.poisoned_nodes; }
+
+  const InvariantCounters& counters() const { return counters_; }
+  /// Simulated time of the first monitored violation; < 0 when none.
+  double first_violation_at() const { return first_violation_at_; }
+
+ private:
+  void mark(SimTime now) {
+    if (first_violation_at_ < 0.0) first_violation_at_ = now;
+  }
+
+  InvariantCounters counters_;
+  std::map<NodeId, std::uint16_t> last_ansn_;
+  double first_violation_at_ = -1.0;
+};
+
+/// End-of-run audit: walks every node's converged TopologyBase and
+/// compares each held advert against the ground-truth graph — links that
+/// do not exist are phantom, links advertised with more bandwidth than
+/// they have are inflated, and any node holding either is poisoned. Fills
+/// the monitor's audit counters.
+void audit_topology(InvariantMonitor& monitor, const Simulator& sim,
+                    const Graph& truth);
+
+}  // namespace qolsr

@@ -1,5 +1,6 @@
 #include "sim/lossy_medium.hpp"
 
+#include "proto/messages.hpp"
 #include "sim/simulator.hpp"
 
 namespace qolsr {
@@ -8,11 +9,17 @@ namespace {
 /// Domain-separates the loss stream from the node RNGs and the fault
 /// (victim-drawing) stream, all of which derive from the same run seed.
 constexpr std::uint64_t kLossStreamSalt = 0xa5a5a5a5a5a5a5a5ULL;
+/// The wire-corruption stream: its own domain, so turning corruption on
+/// never perturbs the loss draws (and vice versa).
+constexpr std::uint64_t kCorruptStreamSalt = 0x6a09e667f3bcc909ULL;
 }  // namespace
 
-void LossyMedium::reset(const FaultPlan* plan, std::uint64_t seed) {
+void LossyMedium::reset(const FaultPlan* plan, std::uint64_t seed,
+                        double corrupt_rate) {
   plan_ = plan;
   rng_ = util::Rng(seed ^ kLossStreamSalt);
+  corrupt_rng_ = util::Rng(seed ^ kCorruptStreamSalt);
+  corrupt_rate_ = corrupt_rate;
   node_down_.assign(node_count(), 0);
   down_nodes_ = 0;
   down_links_.clear();
@@ -64,6 +71,30 @@ bool LossyMedium::lost(NodeId from, NodeId to) {
   return rate >= 1.0 || rng_.uniform01() < rate;
 }
 
+SharedBytes LossyMedium::maybe_corrupt(const SharedBytes& bytes) {
+  if (bytes->empty() || corrupt_rng_.uniform01() >= corrupt_rate_)
+    return bytes;
+  // The shared buffer may still be in flight to other receivers — corrupt
+  // a private copy, never the original.
+  std::vector<std::byte> flipped(*bytes);
+  const std::size_t bit_count = flipped.size() * 8;
+  const std::uint64_t flips = 1 + corrupt_rng_.uniform_int(3);
+  for (std::uint64_t f = 0; f < flips; ++f) {
+    const std::uint64_t bit = corrupt_rng_.uniform_int(bit_count);
+    flipped[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+  trace_->frames_corrupted += 1;
+  if (is_data_frame(*bytes)) {
+    // Charge the journey from the pre-flip payload id (the flip may have
+    // landed in that very field). Only read when the probe never arrives.
+    const auto it = trace_->journeys.find(peek_data_payload_id(*bytes));
+    if (it != trace_->journeys.end() &&
+        it->second.drop == TraceStats::Journey::Drop::kNone)
+      it->second.drop = TraceStats::Journey::Drop::kMalformed;
+  }
+  return make_shared_bytes(std::move(flipped));
+}
+
 SimTime LossyMedium::now() const { return sim_->queue().now(); }
 
 void LossyMedium::schedule_in(SimTime delay, std::function<void()> callback) {
@@ -101,6 +132,25 @@ void LossyMedium::broadcast(NodeId from, SharedBytes bytes) {
     }
     scratch_receivers_.push_back(e.to);
   }
+  if (corrupt_rate_ > 0.0) {
+    // Each leg draws its own corruption gate, and a corrupted leg carries
+    // its own flipped copy — those must be delivered individually. The
+    // untouched majority still shares the batched fan-out (same delivery
+    // timestamp), so a small corrupt rate keeps near-fast-path event cost
+    // instead of reverting every broadcast to one event per neighbor.
+    scratch_clean_.clear();
+    for (const NodeId to : scratch_receivers_) {
+      SharedBytes leg = maybe_corrupt(bytes);
+      if (leg == bytes && !sim_->contention_active()) {
+        scratch_clean_.push_back(to);
+      } else {
+        sim_->deliver(from, to, std::move(leg));
+      }
+    }
+    if (!scratch_clean_.empty())
+      sim_->deliver_fanout(from, scratch_clean_, std::move(bytes));
+    return;
+  }
   if (sim_->contention_active()) {
     // Per-leg delivery: each leg pays its own queueing delay (or drop).
     for (const NodeId to : scratch_receivers_) sim_->deliver(from, to, bytes);
@@ -125,6 +175,7 @@ void LossyMedium::unicast(NodeId from, NodeId to, SharedBytes bytes) {
       return;
     }
   }
+  if (corrupt_rate_ > 0.0) bytes = maybe_corrupt(bytes);
   sim_->deliver(from, to, std::move(bytes));
 }
 

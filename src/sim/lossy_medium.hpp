@@ -39,9 +39,13 @@ class LossyMedium final : public Medium {
       : sim_(&sim), trace_(&trace) {}
 
   /// Per-run (re)configuration: binds the plan (nullptr = fault-free),
-  /// reseeds the loss RNG, and clears all overlay state. The plan is
-  /// borrowed and must stay alive until the next reset.
-  void reset(const FaultPlan* plan, std::uint64_t seed);
+  /// reseeds the loss and corruption RNGs, and clears all overlay state.
+  /// The plan is borrowed and must stay alive until the next reset.
+  /// `corrupt_rate` is the adversary engine's wire-corruption probability
+  /// per delivered frame (0 = the gate is contractually invisible: no
+  /// draws, fan-out batching preserved).
+  void reset(const FaultPlan* plan, std::uint64_t seed,
+             double corrupt_rate = 0.0);
 
   // ---- overlay state (driven by Simulator::inject / fail_link) ----------
   void set_link_down(NodeId u, NodeId v, bool down);
@@ -80,11 +84,20 @@ class LossyMedium final : public Medium {
   /// Draws the Bernoulli loss gate for one delivery. Zero-rate links draw
   /// nothing, so overlay-only faults (fail_link, crash) stay RNG-silent.
   bool lost(NodeId from, NodeId to);
+  /// Draws the wire-corruption gate for one surviving delivery: with
+  /// probability `corrupt_rate_` returns a copy of the frame with 1-3
+  /// seeded bit flips (the receiver still gets it — its hardened parser
+  /// decides the fate), else the shared buffer unchanged. Data frames are
+  /// fate-marked kMalformed from the *pre-flip* payload id, so a corrupted
+  /// probe that dies is charged to corruption, not the medium.
+  SharedBytes maybe_corrupt(const SharedBytes& bytes);
 
   Simulator* sim_;
   TraceStats* trace_;
   const FaultPlan* plan_ = nullptr;
   util::Rng rng_{1};
+  util::Rng corrupt_rng_{1};
+  double corrupt_rate_ = 0.0;
   bool ambient_loss_ = false;  ///< plan has a nonzero loss source
   std::vector<char> node_down_;
   std::size_t down_nodes_ = 0;
@@ -95,6 +108,8 @@ class LossyMedium final : public Medium {
   /// hands one receiver list to Simulator::deliver_fanout instead of
   /// scheduling one event per leg).
   std::vector<NodeId> scratch_receivers_;
+  /// Uncorrupted subset of a corrupt-gated fan-out (same reuse rationale).
+  std::vector<NodeId> scratch_clean_;
 };
 
 }  // namespace qolsr

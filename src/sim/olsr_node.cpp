@@ -8,6 +8,39 @@
 
 namespace qolsr {
 
+namespace {
+/// Domain-separates a misbehaving node's lie-parameter stream from its
+/// protocol RNG (0x517cc1b727220a95), the loss stream and the fault
+/// stream — all derive from the same run seed, and honest nodes never
+/// draw from this one.
+constexpr std::uint64_t kAdversaryNodeSalt = 0x3c6ef372fe94f82bULL;
+
+/// Deployment-range sanitation of a structurally valid parse: node ids in
+/// this simulation are dense 0..n-1, so a frame naming any id outside the
+/// deployment can only be wire corruption (or a hostile sender) — and must
+/// be rejected *before* it reaches tables sized or indexed by node id (a
+/// bit-flipped 32-bit neighbor id can otherwise demand a multi-gigabyte
+/// local-view scratch). Honest frames always pass, so the check never
+/// perturbs an adversary-free run.
+bool in_deployment(const ParsedPacket& packet, std::size_t n) {
+  if (packet.header.originator >= n) return false;
+  if (packet.hello.has_value()) {
+    if (packet.hello->originator >= n) return false;
+    for (const LinkAdvert& a : packet.hello->links)
+      if (a.neighbor >= n) return false;
+  }
+  if (packet.tc.has_value()) {
+    if (packet.tc->originator >= n) return false;
+    for (const LinkAdvert& a : packet.tc->advertised)
+      if (a.neighbor >= n) return false;
+  }
+  if (packet.data.has_value() &&
+      (packet.data->source >= n || packet.data->destination >= n))
+    return false;
+  return true;
+}
+}  // namespace
+
 OlsrNode::OlsrNode(NodeId id, Medium& medium, TraceStats& trace,
                    const AnsSelector& flooding_selector,
                    const AnsSelector& ans_selector, const RouteFn& route_fn,
@@ -40,6 +73,17 @@ void OlsrNode::reset(const AnsSelector& flooding_selector,
   last_advertised_.clear();
   next_sequence_ = 0;
   alive_ = true;
+  role_ = AdversaryKind::kHonest;
+  monitor_ = nullptr;
+  phantom_targets_.clear();
+  phantoms_drawn_ = false;
+  captured_valid_ = false;
+  replay_count_ = 0;
+}
+
+void OlsrNode::set_role(AdversaryKind role, std::uint64_t seed) {
+  role_ = role;
+  adv_rng_ = util::Rng(seed ^ (kAdversaryNodeSalt * (id_ + 1)));
 }
 
 void OlsrNode::crash() {
@@ -133,7 +177,8 @@ void OlsrNode::tc_tick() {
   duplicates_.expire(now);
   recompute_selection();
 
-  if (!ans_.empty()) {
+  // A liar always has something to advertise — its fabrications.
+  if (!ans_.empty() || role_ == AdversaryKind::kLiar) {
     TcMessage tc;
     tc.originator = id_;
     tc.ansn = ansn_;
@@ -142,6 +187,7 @@ void OlsrNode::tc_tick() {
       if (qos == nullptr) continue;
       tc.advertised.push_back({neighbor, LinkStatus::kSymmetric, *qos});
     }
+    if (role_ == AdversaryKind::kLiar) lie_in_tc(tc);
     PacketHeader header;
     header.type = MessageType::kTc;
     header.originator = id_;
@@ -151,14 +197,64 @@ void OlsrNode::tc_tick() {
     topology_.on_tc(tc, now);
     // Record our own flood so re-broadcasts that echo back are dropped.
     duplicates_.check_and_insert(id_, header.sequence, now);
+    if (monitor_ != nullptr) monitor_->record_tc_emission(id_, tc.ansn, now);
     auto bytes = make_shared_bytes(serialize(header, tc));
     trace_.tc_originated += 1;
     trace_.control_bytes += bytes->size();
     medium_.broadcast(id_, std::move(bytes));
   }
+  if (role_ == AdversaryKind::kReplayer && captured_valid_)
+    replay_captured_tc();
 
   medium_.schedule_in(config_.tc_interval + rng_.uniform(0.0, config_.jitter),
                       [this] { tc_tick(); });
+}
+
+void OlsrNode::lie_in_tc(TcMessage& tc) {
+  // Inflate every honestly-measured bandwidth: receivers routing on the
+  // widest path will prefer links through us that cannot carry the load.
+  for (LinkAdvert& a : tc.advertised) a.qos.bandwidth *= 4.0;
+  if (!phantoms_drawn_) {
+    // Draw up to two stable phantom endpoints (a lie that changes every
+    // tick would keep the ANSN churning and never let the digest settle);
+    // only nodes we genuinely cannot reach qualify.
+    phantoms_drawn_ = true;
+    const std::size_t n = medium_.node_count();
+    for (int attempt = 0; attempt < 16 && phantom_targets_.size() < 2 && n > 1;
+         ++attempt) {
+      const NodeId target = static_cast<NodeId>(adv_rng_.uniform_int(n));
+      if (target == id_) continue;
+      if (medium_.measured_qos(id_, target) != nullptr) continue;  // real
+      if (std::find(phantom_targets_.begin(), phantom_targets_.end(),
+                    target) != phantom_targets_.end())
+        continue;
+      phantom_targets_.push_back(target);
+    }
+  }
+  for (NodeId target : phantom_targets_) {
+    LinkQos qos;
+    qos.bandwidth = 1.0e3;  // an irresistible fabricated link
+    tc.advertised.push_back({target, LinkStatus::kSymmetric, qos});
+  }
+}
+
+void OlsrNode::replay_captured_tc() {
+  PacketHeader header = captured_header_;
+  // A fresh message sequence defeats every duplicate set; the ANSN inside
+  // stays the captured — by now stale — one. TopologyBase's circular
+  // comparison is what must reject it (the stale_tc_rejections counter).
+  header.sequence = static_cast<std::uint16_t>(
+      captured_header_.sequence + 0x4000u + replay_count_++);
+  header.ttl = config_.tc_ttl;
+  header.hop_count = 0;
+  const double now = medium_.now();
+  duplicates_.check_and_insert(captured_tc_.originator, header.sequence, now);
+  if (monitor_ != nullptr)
+    monitor_->record_tc_emission(captured_tc_.originator, captured_tc_.ansn,
+                                 now);
+  auto bytes = make_shared_bytes(serialize(header, captured_tc_));
+  trace_.control_bytes += bytes->size();
+  medium_.broadcast(id_, std::move(bytes));
 }
 
 void OlsrNode::on_receive(NodeId from, const std::vector<std::byte>& bytes) {
@@ -166,8 +262,12 @@ void OlsrNode::on_receive(NodeId from, const std::vector<std::byte>& bytes) {
   // propagation delay); a dead node hears nothing.
   if (!alive_) return;
   const auto packet = parse_packet(bytes);
-  if (!packet.has_value()) {
-    QOLSR_LOG(kWarn) << "node " << id_ << ": malformed packet from " << from;
+  if (!packet.has_value() ||
+      !in_deployment(*packet, medium_.node_count())) {
+    // Expected noise under an active corruption gate — counted, not
+    // warned about (a warn per mangled frame would drown real logs).
+    trace_.frames_malformed += 1;
+    QOLSR_LOG(kDebug) << "node " << id_ << ": malformed packet from " << from;
     return;
   }
   switch (packet->header.type) {
@@ -199,12 +299,33 @@ void OlsrNode::handle_tc(const PacketHeader& header, const TcMessage& tc,
     trace_.tc_dropped_duplicate += 1;
     return;
   }
-  if (tc.originator != id_) topology_.on_tc(tc, now);
+  if (tc.originator != id_) {
+    if (!topology_.on_tc(tc, now) && monitor_ != nullptr)
+      monitor_->record_stale_tc_rejection(now);
+    if (role_ == AdversaryKind::kReplayer && !captured_valid_) {
+      // Capture the first foreign TC; tc_tick keeps re-emitting it with a
+      // fresh message sequence but the original (aging) ANSN.
+      captured_valid_ = true;
+      captured_header_ = header;
+      captured_tc_ = tc;
+    }
+  }
 
   // Default MPR forwarding: retransmit iff the previous hop selected us as
   // its MPR.
   if (header.ttl <= 1) return;
   if (!tables_.selected_us_as_mpr(from)) return;
+  if (role_ == AdversaryKind::kBlackhole ||
+      role_ == AdversaryKind::kSelfish) {
+    // We accepted MPR duty (our HELLOs look honest) and now renege on it.
+    if (monitor_ != nullptr) {
+      if (role_ == AdversaryKind::kBlackhole)
+        monitor_->record_blackhole_absorption(now);
+      else
+        monitor_->record_mpr_refusal(now);
+    }
+    return;
+  }
   PacketHeader forwarded = header;
   forwarded.ttl -= 1;
   forwarded.hop_count += 1;
@@ -235,13 +356,30 @@ void OlsrNode::send_data(NodeId destination, std::uint32_t payload_id) {
 
 void OlsrNode::handle_data(PacketHeader header, const DataMessage& data) {
   auto it = trace_.journeys.find(data.payload_id);
-  if (it != trace_.journeys.end()) it->second.path.push_back(id_);
+  if (it != trace_.journeys.end()) {
+    // A revisit is a forwarding loop forming right now — the TTL would
+    // catch it dozens of hops later; the monitor sees the first cycle.
+    if (monitor_ != nullptr &&
+        std::find(it->second.path.begin(), it->second.path.end(), id_) !=
+            it->second.path.end())
+      monitor_->record_forwarding_loop(medium_.now());
+    it->second.path.push_back(id_);
+  }
   if (data.destination == id_) {
     trace_.data_delivered += 1;
     if (it != trace_.journeys.end()) {
       it->second.delivered = true;
       it->second.delivered_at = medium_.now();
     }
+    return;
+  }
+  if (role_ == AdversaryKind::kBlackhole) {
+    // Transit traffic is silently absorbed; our honest-looking HELLOs made
+    // sure routes lead through us.
+    trace_.data_dropped += 1;
+    mark_drop(data.payload_id, TraceStats::Journey::Drop::kAdversary);
+    if (monitor_ != nullptr)
+      monitor_->record_blackhole_absorption(medium_.now());
     return;
   }
   if (header.ttl <= 1) {

@@ -11,6 +11,8 @@
 #include "proto/neighbor_tables.hpp"
 #include "proto/topology_base.hpp"
 #include "routing/routing_table.hpp"
+#include "sim/adversary.hpp"
+#include "sim/invariants.hpp"
 #include "sim/medium.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
@@ -87,6 +89,16 @@ class OlsrNode {
   void restart() { alive_ = true; }
   bool alive() const { return alive_; }
 
+  /// Adversary wiring (driven by Simulator::reset when an AdversarySpec is
+  /// active; reset() reverts both). A misbehaving node draws its lie
+  /// parameters from a dedicated adversary-salted stream of the run seed —
+  /// honest nodes' RNG streams are never perturbed, so an inactive spec
+  /// stays byte-identical. The monitor pointer arms the runtime invariant
+  /// checks; honest runs carry nullptr and pay nothing.
+  void set_role(AdversaryKind role, std::uint64_t seed);
+  AdversaryKind role() const { return role_; }
+  void set_monitor(InvariantMonitor* monitor) { monitor_ = monitor; }
+
   /// MAC upcall for any packet addressed to or overheard by this node.
   void on_receive(NodeId from, const std::vector<std::byte>& bytes);
 
@@ -113,6 +125,8 @@ class OlsrNode {
   void hello_tick();
   void tc_tick();
   void recompute_selection();
+  void lie_in_tc(TcMessage& tc);
+  void replay_captured_tc();
   std::vector<LinkAdvert> build_hello_links() const;
   void handle_hello(const HelloMessage& hello, NodeId from);
   void handle_tc(const PacketHeader& header, const TcMessage& tc,
@@ -139,6 +153,17 @@ class OlsrNode {
   std::vector<NodeId> last_advertised_;
   std::uint16_t next_sequence_ = 0;
   bool alive_ = true;  ///< false between crash() and restart()
+
+  // ---- adversary state (inert while role_ == kHonest) -------------------
+  AdversaryKind role_ = AdversaryKind::kHonest;
+  InvariantMonitor* monitor_ = nullptr;
+  util::Rng adv_rng_{1};  ///< lie parameters; a stream honest nodes never use
+  std::vector<NodeId> phantom_targets_;  ///< liar: stable fabricated links
+  bool phantoms_drawn_ = false;
+  bool captured_valid_ = false;  ///< replayer: holds a foreign TC to re-emit
+  PacketHeader captured_header_;
+  TcMessage captured_tc_;
+  std::uint16_t replay_count_ = 0;
 };
 
 }  // namespace qolsr

@@ -11,22 +11,26 @@ namespace {
 /// Domain-separates the incident-victim stream from the node RNGs and the
 /// LossyMedium's loss stream (all derive from the same run seed).
 constexpr std::uint64_t kFaultStreamSalt = 0xc2b2ae3d27d4eb4fULL;
+/// The adversary roster draw: its own stream, touched only when an
+/// AdversarySpec is active — an honest run draws nothing from it.
+constexpr std::uint64_t kAdversaryStreamSalt = 0xbb67ae8584caa73bULL;
 }  // namespace
 
 Simulator::Simulator(const Graph& graph, const AnsSelector& flooding_selector,
                      const AnsSelector& ans_selector,
                      OlsrNode::RouteFn route_fn, SimConfig config,
-                     const FaultPlan* faults)
+                     const FaultPlan* faults, const AdversarySpec* adversaries)
     : config_(config), lossy_(*this, trace_), contended_(*this, trace_) {
   reset(graph, flooding_selector, ans_selector, std::move(route_fn),
-        config.seed, faults);
+        config.seed, faults, nullptr, adversaries);
 }
 
 void Simulator::reset(const Graph& graph,
                       const AnsSelector& flooding_selector,
                       const AnsSelector& ans_selector,
                       OlsrNode::RouteFn route_fn, std::uint64_t seed,
-                      const FaultPlan* faults, const TrafficSpec* traffic) {
+                      const FaultPlan* faults, const TrafficSpec* traffic,
+                      const AdversarySpec* adversaries) {
   // The queued callbacks capture node pointers from the previous run; drop
   // them before touching the node vector.
   queue_.reset();
@@ -34,9 +38,12 @@ void Simulator::reset(const Graph& graph,
   config_.seed = seed;
   trace_ = TraceStats{};
   trace_at_convergence_ = TraceStats{};
-  lossy_.reset(faults, seed);
+  const bool adversarial = adversaries != nullptr && adversaries->active();
+  lossy_.reset(faults, seed, adversarial ? adversaries->corrupt_rate : 0.0);
   contended_.reset(traffic);
   fault_rng_ = util::Rng(seed ^ kFaultStreamSalt);
+  monitor_.reset();
+  adversary_ids_.clear();
   route_fn_ = std::move(route_fn);
 
   const std::size_t n = graph.node_count();
@@ -49,6 +56,38 @@ void Simulator::reset(const Graph& graph,
     nodes_.push_back(std::make_unique<OlsrNode>(
         static_cast<NodeId>(nodes_.size()), lossy_, trace_, flooding_selector,
         ans_selector, route_fn_, config_.node, seed));
+
+  if (adversarial) {
+    // Roster draw from a dedicated salted stream: replayable from the run
+    // seed alone, identical for every protocol of the run and for every
+    // thread count, and invisible to the honest RNG domains.
+    std::vector<NodeId> roster = adversaries->nodes;
+    const std::size_t want = adversaries->roster_size(n);
+    if (roster.empty() && want > 0) {
+      util::Rng roster_rng(seed ^ kAdversaryStreamSalt);
+      std::vector<NodeId> pool(n);
+      for (NodeId id = 0; id < n; ++id) pool[id] = id;
+      // Partial Fisher–Yates: distinct victims, one draw per victim.
+      for (std::size_t i = 0; i < want; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(roster_rng.uniform_int(n - i));
+        std::swap(pool[i], pool[j]);
+        roster.push_back(pool[i]);
+      }
+    }
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      if (roster[i] >= n) continue;
+      nodes_[roster[i]]->set_role(
+          adversaries->kinds.empty()
+              ? AdversaryKind::kHonest
+              : adversaries->kinds[i % adversaries->kinds.size()],
+          seed);
+      adversary_ids_.push_back(roster[i]);
+    }
+    std::sort(adversary_ids_.begin(), adversary_ids_.end());
+    for (auto& node : nodes_) node->set_monitor(&monitor_);
+  }
+
   for (auto& node : nodes_) node->start();
 }
 

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/adversary.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/invariants.hpp"
 #include "sim/lossy_medium.hpp"
 #include "sim/medium.hpp"
 #include "sim/olsr_node.hpp"
@@ -91,11 +94,13 @@ class Simulator final : public Medium {
 
   Simulator(const Graph& graph, const AnsSelector& flooding_selector,
             const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
-            SimConfig config = {}, const FaultPlan* faults = nullptr);
+            SimConfig config = {}, const FaultPlan* faults = nullptr,
+            const AdversarySpec* adversaries = nullptr);
   /// The graph is borrowed — a temporary would dangle.
   Simulator(Graph&& graph, const AnsSelector& flooding_selector,
             const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
-            SimConfig config = {}, const FaultPlan* faults = nullptr) = delete;
+            SimConfig config = {}, const FaultPlan* faults = nullptr,
+            const AdversarySpec* adversaries = nullptr) = delete;
 
   /// The seed-driven batch-run entry point: rewinds the clock, drops every
   /// pending event and trace counter, installs the new ground truth and
@@ -106,11 +111,13 @@ class Simulator final : public Medium {
   void reset(const Graph& graph, const AnsSelector& flooding_selector,
              const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
              std::uint64_t seed, const FaultPlan* faults = nullptr,
-             const TrafficSpec* traffic = nullptr);
+             const TrafficSpec* traffic = nullptr,
+             const AdversarySpec* adversaries = nullptr);
   void reset(Graph&& graph, const AnsSelector& flooding_selector,
              const AnsSelector& ans_selector, OlsrNode::RouteFn route_fn,
              std::uint64_t seed, const FaultPlan* faults = nullptr,
-             const TrafficSpec* traffic = nullptr) = delete;
+             const TrafficSpec* traffic = nullptr,
+             const AdversarySpec* adversaries = nullptr) = delete;
 
   /// Advances the simulation clock.
   void run_until(SimTime horizon) { queue_.run_until(horizon); }
@@ -140,6 +147,18 @@ class Simulator final : public Medium {
 
   /// The fault overlay (inspection; tests assert on blocked/lost frames).
   const LossyMedium& faults() const { return lossy_; }
+
+  /// The runtime invariant monitor — armed (and its counters meaningful)
+  /// only when the run's AdversarySpec is active.
+  const InvariantMonitor& monitor() const { return monitor_; }
+  InvariantMonitor& monitor() { return monitor_; }
+  /// This run's drawn adversary roster, ascending by node id; empty on an
+  /// honest run.
+  const std::vector<NodeId>& adversary_ids() const { return adversary_ids_; }
+  bool is_adversary(NodeId id) const {
+    return std::binary_search(adversary_ids_.begin(), adversary_ids_.end(),
+                              id);
+  }
 
   /// The capacity layer (inspection; tests assert on queue drops).
   const ContendedMedium& contention() const { return contended_; }
@@ -212,6 +231,8 @@ class Simulator final : public Medium {
   LossyMedium lossy_;           ///< the Medium the nodes transmit through
   ContendedMedium contended_;   ///< capacity layer under the fault layer
   util::Rng fault_rng_{1};      ///< victim draws for random incidents
+  InvariantMonitor monitor_;    ///< armed only under an active AdversarySpec
+  std::vector<NodeId> adversary_ids_;  ///< drawn roster, sorted
   OlsrNode::RouteFn route_fn_;  ///< shared by all nodes (they borrow it)
   std::vector<std::unique_ptr<OlsrNode>> nodes_;
 };

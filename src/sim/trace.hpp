@@ -31,6 +31,12 @@ struct TraceStats {
   // ---- capacity layer (ContendedMedium; zero without a traffic spec) ----
   /// Frame deliveries tail-dropped at a full per-link FIFO queue.
   std::uint64_t frames_queue_dropped = 0;
+  // ---- adversary layer (zero without an active AdversarySpec) -----------
+  /// Frame deliveries with wire bits flipped by the corruption gate (the
+  /// frame is still delivered; the receiver's parser decides its fate).
+  std::uint64_t frames_corrupted = 0;
+  /// Received frames the hardened parser rejected as malformed.
+  std::uint64_t frames_malformed = 0;
 
   /// Journey of one data packet, keyed by payload id.
   struct Journey {
@@ -42,6 +48,8 @@ struct TraceStats {
       kNoRoute,    ///< a hop's knowledge graph had no route (blackhole)
       kTtl,        ///< hop limit exhausted (routing loop / overlong path)
       kQueueDrop,  ///< tail-dropped at a saturated link queue (congestion)
+      kAdversary,  ///< silently absorbed by a misbehaving relay
+      kMalformed,  ///< wire-corrupted in flight (bits flipped on the frame)
     };
     NodeId source = kInvalidNode;
     NodeId destination = kInvalidNode;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace qolsr {
 namespace {
 
@@ -128,6 +130,91 @@ TEST(Messages, BadLinkStatusRejected) {
   // count (2) = 16, so status is at offset 20.
   bytes[20] = std::byte{0};
   EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Messages, HostileCountFieldRejectedBeforeAllocation) {
+  // A bit-flipped or hostile advert-count field must be rejected by the
+  // length check, not sized into a vector the payload cannot back. TC
+  // count sits after header (9) + originator (4) + ansn (2) = offset 15.
+  TcMessage tc;
+  tc.originator = 3;
+  tc.advertised.push_back({1, LinkStatus::kSymmetric, sample_qos()});
+  const auto bytes = serialize(header_of(MessageType::kTc), tc);
+  for (std::uint16_t hostile : {std::uint16_t{0}, std::uint16_t{2},
+                                std::uint16_t{0xffff}}) {
+    auto mangled = bytes;
+    mangled[15] = std::byte{static_cast<unsigned char>(hostile)};
+    mangled[16] = std::byte{static_cast<unsigned char>(hostile >> 8)};
+    EXPECT_FALSE(parse_packet(mangled).has_value()) << "count=" << hostile;
+  }
+  // Hello count sits at offset 14 (header + originator + willingness).
+  HelloMessage hello;
+  hello.originator = 3;
+  hello.links.push_back({1, LinkStatus::kSymmetric, sample_qos()});
+  auto hbytes = serialize(header_of(MessageType::kHello), hello);
+  hbytes[14] = std::byte{0xff};
+  hbytes[15] = std::byte{0xff};
+  EXPECT_FALSE(parse_packet(hbytes).has_value());
+}
+
+TEST(Messages, NonFiniteOrNegativeQosRejected) {
+  // QoS doubles travel as raw bits, so a corrupted frame can carry NaN,
+  // infinity or a negative "measurement" — none may reach the metric
+  // algebra. Exercise every QoS field.
+  const double hostile[] = {std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity(), -1.0};
+  for (std::size_t field = 0; field < 6; ++field) {
+    for (double v : hostile) {
+      LinkQos q = sample_qos();
+      switch (field) {
+        case 0: q.bandwidth = v; break;
+        case 1: q.delay = v; break;
+        case 2: q.jitter = v; break;
+        case 3: q.loss_cost = v; break;
+        case 4: q.energy = v; break;
+        case 5: q.buffers = v; break;
+      }
+      HelloMessage hello;
+      hello.originator = 1;
+      hello.links.push_back({2, LinkStatus::kSymmetric, q});
+      EXPECT_FALSE(
+          parse_packet(serialize(header_of(MessageType::kHello), hello))
+              .has_value())
+          << "field=" << field << " v=" << v;
+
+      TcMessage tc;
+      tc.originator = 1;
+      tc.advertised.push_back({2, LinkStatus::kSymmetric, q});
+      EXPECT_FALSE(parse_packet(serialize(header_of(MessageType::kTc), tc))
+                       .has_value())
+          << "field=" << field << " v=" << v;
+    }
+  }
+  // Zero is a legal measurement — the guard is strictly about sign and
+  // finiteness, not about "suspiciously small".
+  HelloMessage hello;
+  hello.originator = 1;
+  hello.links.push_back({2, LinkStatus::kSymmetric, LinkQos{}});
+  EXPECT_TRUE(parse_packet(serialize(header_of(MessageType::kHello), hello))
+                  .has_value());
+}
+
+TEST(Messages, WirePeeksTolerateArbitraryBytes) {
+  // The medium-layer peeks must classify any byte string without a full
+  // parse: short frames, empty frames and non-data types are "not data".
+  EXPECT_FALSE(is_data_frame({}));
+  EXPECT_EQ(peek_data_payload_id({}), 0u);
+  std::vector<std::byte> junk(21, std::byte{0xab});
+  EXPECT_FALSE(is_data_frame(junk));  // right size, wrong type byte
+  DataMessage data;
+  data.payload_id = 0xdeadbeef;
+  auto bytes = serialize(header_of(MessageType::kData), data);
+  EXPECT_TRUE(is_data_frame(bytes));
+  EXPECT_EQ(peek_data_payload_id(bytes), 0xdeadbeefu);
+  bytes.pop_back();
+  EXPECT_FALSE(is_data_frame(bytes));
+  EXPECT_EQ(peek_data_payload_id(bytes), 0u);
 }
 
 TEST(Messages, TcWireSizeGrowsWithAnsSize) {

@@ -1,0 +1,148 @@
+// RFC 3626 §19 circular sequence-number semantics: the 16-bit ANSN and
+// message-sequence spaces wrap, and "newer" means the circular half-space
+// comparison — 0 beats 65535, a replayed value from the recent past never
+// beats the holder, and exactly half the space counts as newer. These are
+// the properties the replayer adversary attacks and the invariant monitor
+// leans on, pinned here at the data-structure level.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "proto/duplicate_set.hpp"
+#include "proto/topology_base.hpp"
+
+namespace qolsr {
+namespace {
+
+TEST(SequenceWraparound, AnsnNewerIsCircular) {
+  // Plain ordering inside the window.
+  EXPECT_TRUE(ansn_newer(6, 5));
+  EXPECT_FALSE(ansn_newer(5, 6));
+  EXPECT_FALSE(ansn_newer(5, 5));
+
+  // The wrap: 0 is newer than 65535, not the other way around.
+  EXPECT_TRUE(ansn_newer(0, 65535));
+  EXPECT_FALSE(ansn_newer(65535, 0));
+  EXPECT_TRUE(ansn_newer(3, 65530));
+  EXPECT_FALSE(ansn_newer(65530, 3));
+
+  // Exactly half the space (32768 values) is "newer"; the boundary value
+  // itself is not — a and a+0x8000 are mutually not-newer, so neither side
+  // of a maximally ambiguous replay wins.
+  EXPECT_TRUE(ansn_newer(32767, 0));
+  EXPECT_FALSE(ansn_newer(32768, 0));
+  EXPECT_FALSE(ansn_newer(0, 32768));
+}
+
+TEST(SequenceWraparound, AnsnNewerIsAntisymmetricAcrossTheSpace) {
+  // For any distinct pair not exactly half the space apart, exactly one
+  // direction is newer (sampled — the full cross product is 2^32).
+  const std::uint16_t samples[] = {0, 1, 2, 100, 32766, 32767,
+                                   32768, 40000, 65534, 65535};
+  for (std::uint16_t a : samples) {
+    for (std::uint16_t b : samples) {
+      if (a == b) continue;
+      const bool ab = ansn_newer(a, b);
+      const bool ba = ansn_newer(b, a);
+      if (static_cast<std::uint16_t>(a - b) == 0x8000) {
+        EXPECT_FALSE(ab || ba) << a << " vs " << b;
+      } else {
+        EXPECT_NE(ab, ba) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(SequenceWraparound, TopologyBaseAcceptsHonestWrap) {
+  TopologyBase base;
+  TcMessage tc;
+  tc.originator = 7;
+  tc.ansn = 65535;
+  tc.advertised.push_back({1, LinkStatus::kSymmetric, {}});
+  ASSERT_TRUE(base.on_tc(tc, 0.0));
+  ASSERT_EQ(base.ansn_of(7), 65535);
+
+  // The originator's counter wraps to 0 — the TC must replace the held
+  // advert, not be discarded as ancient.
+  tc.ansn = 0;
+  tc.advertised.clear();
+  tc.advertised.push_back({2, LinkStatus::kSymmetric, {}});
+  EXPECT_TRUE(base.on_tc(tc, 1.0));
+  EXPECT_EQ(base.ansn_of(7), 0);
+  EXPECT_EQ(base.advertised_of(7), std::vector<NodeId>{2});
+}
+
+TEST(SequenceWraparound, TopologyBaseRejectsReplayedStaleAnsnAcrossWrap) {
+  TopologyBase base;
+  TcMessage fresh;
+  fresh.originator = 7;
+  fresh.ansn = 2;  // already wrapped past 65535 → 0 → 2
+  fresh.advertised.push_back({1, LinkStatus::kSymmetric, {}});
+  ASSERT_TRUE(base.on_tc(fresh, 0.0));
+
+  // A replayer re-emits a capture from before the wrap. 65530 is numerically
+  // larger but circularly older — it must be rejected and the held advert
+  // left untouched.
+  TcMessage replay;
+  replay.originator = 7;
+  replay.ansn = 65530;
+  replay.advertised.push_back({9, LinkStatus::kSymmetric, {}});
+  EXPECT_FALSE(base.on_tc(replay, 1.0));
+  EXPECT_EQ(base.ansn_of(7), 2);
+  EXPECT_EQ(base.advertised_of(7), std::vector<NodeId>{1});
+}
+
+TEST(SequenceWraparound, TopologyBaseSameAnsnIsARefreshNotAReplay) {
+  // RFC soft state: re-hearing the advert you hold extends its validity.
+  TopologyBase base(/*hold_time=*/10.0);
+  TcMessage tc;
+  tc.originator = 3;
+  tc.ansn = 65535;
+  tc.advertised.push_back({1, LinkStatus::kSymmetric, {}});
+  ASSERT_TRUE(base.on_tc(tc, 0.0));
+  EXPECT_TRUE(base.on_tc(tc, 8.0));  // refresh near expiry
+  base.expire(15.0);                 // would have expired without the refresh
+  EXPECT_EQ(base.ansn_of(3), 65535);
+}
+
+TEST(SequenceWraparound, TopologyBaseExpiredEntryCannotVetoAnOlderAnsn) {
+  // Once the held advert's validity lapsed, even a circularly older ANSN is
+  // accepted — a restarted originator must not be locked out by its own
+  // pre-crash sequence numbers after the hold time (RFC 3626 soft state).
+  TopologyBase base(/*hold_time=*/1.0);
+  TcMessage tc;
+  tc.originator = 3;
+  tc.ansn = 50;
+  ASSERT_TRUE(base.on_tc(tc, 0.0));
+  tc.ansn = 10;
+  EXPECT_FALSE(base.on_tc(tc, 0.5));  // still valid: stale, rejected
+  EXPECT_TRUE(base.on_tc(tc, 5.0));   // lapsed: accepted
+  EXPECT_EQ(base.ansn_of(3), 10);
+}
+
+TEST(SequenceWraparound, DuplicateSetKeysExactPairsAcrossWrap) {
+  // The duplicate set matches (originator, sequence) exactly, so a wrapped
+  // message sequence is a distinct new message, while a replayed frame with
+  // an already-seen sequence is suppressed regardless of wrap position.
+  DuplicateSet dup;
+  EXPECT_TRUE(dup.check_and_insert(7, 65535, 0.0));
+  EXPECT_TRUE(dup.check_and_insert(7, 0, 0.1));     // wrap: genuinely new
+  EXPECT_FALSE(dup.check_and_insert(7, 65535, 0.2));  // replay: suppressed
+  EXPECT_FALSE(dup.check_and_insert(7, 0, 0.3));
+  // Another originator's identical sequence is unrelated.
+  EXPECT_TRUE(dup.check_and_insert(8, 65535, 0.4));
+  EXPECT_EQ(dup.size(), 3u);
+}
+
+TEST(SequenceWraparound, DuplicateSetForgetsAfterHoldTime) {
+  // Expiry is what makes exact-pair matching safe across wraps: by the time
+  // a 16-bit counter genuinely reuses a value, the old entry is long gone.
+  DuplicateSet dup(/*hold_time=*/30.0);
+  EXPECT_TRUE(dup.check_and_insert(7, 123, 0.0));
+  dup.expire(31.0);
+  EXPECT_EQ(dup.size(), 0u);
+  EXPECT_TRUE(dup.check_and_insert(7, 123, 31.0));
+}
+
+}  // namespace
+}  // namespace qolsr

@@ -12,7 +12,6 @@
 //
 // See --help for the full flag list, --list-metrics / --list-selectors for
 // the registered names.
-#include <charconv>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,7 +23,8 @@
 namespace {
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage: qolsr_eval [--figure=6|7|8|9|M|R|L] [flags]\n"
+  os << "usage: qolsr_eval [--figure=" << qolsr::figure_names()
+     << "] [flags]\n"
      << "\n"
      << "Runs one declarative experiment (a density sweep of ANS selection\n"
      << "heuristics under a QoS metric) and emits per-density aggregates.\n"
@@ -48,7 +48,11 @@ int usage(std::ostream& os, int exit_code) {
      << "16-flow Poisson workload scaled by the sweep value, links\n"
      << "draining at a capacity proportional to their bandwidth QoS\n"
      << "(pair with --traffic/--pattern/--flows/--capacity/--queue-bytes\n"
-     << "to customize).\n"
+     << "to customize). --figure=B is the Byzantine-robustness figure:\n"
+     << "delivery ratio and poisoned routes vs. adversary roster fraction\n"
+     << "on the packet backend — blackhole and liar nodes drawn per run,\n"
+     << "protocol-invariant violations counted by the runtime monitor\n"
+     << "(pair with --adversaries/--corrupt/--probes to customize).\n"
      << "\n"
      << qolsr::experiment_flags_help()
      << "  --list-metrics        print metric names and exit\n"
@@ -78,31 +82,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg.rfind("--figure=", 0) == 0) {
-      const std::string value = arg.substr(9);
-      if (value == "M" || value == "m") {
-        base = figure_m_spec(FigureConfig{});
-        continue;
-      }
-      if (value == "R" || value == "r") {
-        base = figure_r_spec(FigureConfig{});
-        continue;
-      }
-      if (value == "L" || value == "l") {
-        base = figure_l_spec(FigureConfig{});
-        continue;
-      }
-      int figure = 0;
-      const auto [ptr, ec] = std::from_chars(
-          value.data(), value.data() + value.size(), figure);
-      if (ec != std::errc{} || ptr != value.data() + value.size()) {
-        std::cerr << "qolsr_eval: flag --figure: '" << value
-                  << "' is not a figure number, M, R or L\n";
-        return 2;
-      }
+      // One shared table (figure_by_name) resolves every canned figure —
+      // numbers and letters alike — and names the valid set on a miss.
       try {
-        base = figure_spec(figure, FigureConfig{});
+        base = figure_by_name(arg.substr(9), FigureConfig{});
       } catch (const std::exception& e) {
-        std::cerr << "qolsr_eval: " << e.what() << "\n";
+        std::cerr << "qolsr_eval: flag --figure: " << e.what() << "\n";
         return 2;
       }
       continue;  // order-independent: the canned spec is always the base
