@@ -132,6 +132,21 @@ results.append({"name": f"packet_sweep/runs={min(int(runs), 3)}/threads=1",
                 "flags": packet_flags, "reps": reps,
                 "best_seconds": min(timings),
                 "mean_seconds": sum(timings) / len(timings)})
+
+# Single canned-figure points on the packet backend, one run each: the
+# figure-L load point exercises the steady-state forwarding path under
+# concurrent flows (the knowledge-cache + route-memo hot path), the
+# figure-R loss point the fault/re-convergence machinery. Timed once —
+# these are minutes-scale trajectory markers, not tight micro numbers.
+for figure, point in (("L", "4.0"), ("R", "0.2")):
+    flags = [f"--figure={figure}", f"--densities={point}", "--runs=1",
+             "--seed=7", "--threads=1", "--format=csv"]
+    start = time.perf_counter()
+    subprocess.run([binary, *flags], check=True, stdout=subprocess.DEVNULL)
+    elapsed = time.perf_counter() - start
+    results.append({"name": f"fig{figure}_point/{point}/runs=1/threads=1",
+                    "flags": flags, "reps": 1,
+                    "best_seconds": elapsed, "mean_seconds": elapsed})
 try:
     commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                             capture_output=True, text=True).stdout.strip()

@@ -19,6 +19,14 @@ void insert_sorted(std::vector<Edge>& list, const Edge& e) {
 
 }  // namespace
 
+void Graph::reset_nodes(std::size_t n) {
+  const std::size_t keep = std::min(n, adjacency_.size());
+  for (std::size_t u = 0; u < keep; ++u) adjacency_[u].clear();
+  adjacency_.resize(n);
+  positions_.assign(n, Point{});
+  edge_count_ = 0;
+}
+
 NodeId Graph::add_node(Point position) {
   adjacency_.emplace_back();
   positions_.push_back(position);

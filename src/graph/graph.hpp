@@ -30,6 +30,12 @@ class Graph {
 
   NodeId add_node(Point position = {});
 
+  /// Re-dimensions to `n` isolated nodes at the origin, reusing the
+  /// adjacency storage already allocated — the capacity-preserving form of
+  /// `*this = Graph(n)` for views that are rebuilt in place (e.g. a node's
+  /// cached knowledge graph, re-derived on every topology mutation).
+  void reset_nodes(std::size_t n);
+
   /// Inserts the undirected link (u,v). Precondition: u != v, both exist,
   /// and the link is not already present (checked in debug builds).
   void add_edge(NodeId u, NodeId v, LinkQos qos = {});

@@ -6,9 +6,14 @@
 
 namespace qolsr {
 
-void NeighborTables::on_hello(const HelloMessage& hello, const LinkQos& qos,
-                              double now) {
-  LinkEntry& entry = links_[hello.originator];
+NeighborTables::Outcome NeighborTables::on_hello(const HelloMessage& hello,
+                                                 const LinkQos& qos,
+                                                 double now) {
+  const auto [it, inserted] = links_.try_emplace(hello.originator);
+  LinkEntry& entry = it->second;
+  const bool was_sym = !inserted && entry.sym_until >= 0.0;
+  const bool was_mpr = !inserted && entry.selected_us_mpr;
+  const LinkQos old_qos = entry.qos;
   entry.qos = qos;
   entry.asym_until = now + hold_time_;
   // Two-way handshake: the link is symmetric iff the sender lists us.
@@ -26,17 +31,31 @@ void NeighborTables::on_hello(const HelloMessage& hello, const LinkQos& qos,
     if (a.status == LinkStatus::kAsymmetric) continue;  // not yet usable
     entry.advertised.push_back(a);
   }
+  const bool is_sym = entry.sym_until >= 0.0;
+  Outcome out;
+  out.digest_changed =
+      inserted || was_sym != is_sym || was_mpr != entry.selected_us_mpr;
+  out.view_changed = was_sym != is_sym || (is_sym && !(old_qos == entry.qos));
+  return out;
 }
 
-void NeighborTables::expire(double now) {
+NeighborTables::Outcome NeighborTables::expire(double now) {
+  Outcome out;
   for (auto it = links_.begin(); it != links_.end();) {
     if (it->second.asym_until < now) {
+      if (it->second.sym_until >= 0.0) out.view_changed = true;
+      out.digest_changed = true;  // the digest folds every held entry
       it = links_.erase(it);
     } else {
-      if (it->second.sym_until < now) it->second.sym_until = -1.0;
+      if (it->second.sym_until >= 0.0 && it->second.sym_until < now) {
+        it->second.sym_until = -1.0;
+        out.digest_changed = true;
+        out.view_changed = true;
+      }
       ++it;
     }
   }
+  return out;
 }
 
 std::uint64_t NeighborTables::digest(std::uint64_t h) const {

@@ -20,13 +20,26 @@ class NeighborTables {
   explicit NeighborTables(NodeId self, double hold_time = 6.0)
       : self_(self), hold_time_(hold_time) {}
 
+  /// What a mutation (on_hello / expire) changed — the two facets derived
+  /// state cares about: `digest_changed` means the fold `digest` computes
+  /// is different (an entry appeared/vanished, a sym bit or MPR-selector
+  /// bit flipped), i.e. the convergence detector must see a state change;
+  /// `view_changed` means the node's own symmetric-link contribution to
+  /// its knowledge graph (symmetric neighbor set or a symmetric link's
+  /// QoS) is different, i.e. a cached routing view must be invalidated.
+  /// Timer refreshes that alter neither report {false, false}.
+  struct Outcome {
+    bool digest_changed = false;
+    bool view_changed = false;
+  };
+
   /// Processes a received HELLO. `qos` is the measured QoS of the link the
   /// HELLO arrived on (link measurement is out of the paper's scope; the
   /// simulator supplies the ground-truth value).
-  void on_hello(const HelloMessage& hello, const LinkQos& qos, double now);
+  Outcome on_hello(const HelloMessage& hello, const LinkQos& qos, double now);
 
   /// Drops expired links / neighbor tables / selector entries.
-  void expire(double now);
+  Outcome expire(double now);
 
   /// Forgets every neighbor — the per-run reset of a reused protocol stack.
   void clear() { links_.clear(); }
@@ -39,6 +52,15 @@ class NeighborTables {
 
   /// Symmetric neighbors, ascending id.
   std::vector<NodeId> symmetric_neighbors() const;
+
+  /// Visits every symmetric neighbor as (id, qos), ascending id — the
+  /// allocation-free counterpart of symmetric_neighbors() + link_qos()
+  /// used by the cached knowledge-graph rebuild.
+  template <typename Fn>
+  void for_each_symmetric(Fn&& fn) const {
+    for (const auto& [id, entry] : links_)
+      if (entry.sym_until >= 0.0) fn(id, entry.qos);
+  }
 
   /// Every neighbor with a live (possibly still asymmetric) link entry,
   /// ascending id — what a HELLO must list for the two-way handshake.

@@ -1,30 +1,90 @@
 #include "proto/topology_base.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/digest.hpp"
 
 namespace qolsr {
 
-bool TopologyBase::on_tc(const TcMessage& tc, double now) {
-  auto it = entries_.find(tc.originator);
-  if (it != entries_.end() && it->second.expires >= now &&
-      !newer(tc.ansn, it->second.ansn) && tc.ansn != it->second.ansn) {
-    return false;  // stale
-  }
-  Entry& entry = entries_[tc.originator];
-  entry.ansn = tc.ansn;
-  entry.expires = now + hold_time_;
-  entry.advertised = tc.advertised;
+namespace {
+
+/// Same advertised neighbor-id sequence? Order-sensitive on purpose — the
+/// digest and to_graph both walk the sequence in held order.
+bool same_links(const std::vector<LinkAdvert>& a,
+                const std::vector<LinkAdvert>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].neighbor != b[i].neighbor) return false;
   return true;
 }
 
-void TopologyBase::expire(double now) {
+/// Same (neighbor, qos) sequence — whether the entry's routing-view
+/// contribution is unchanged.
+bool same_view(const std::vector<LinkAdvert>& a,
+               const std::vector<LinkAdvert>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].neighbor != b[i].neighbor || !(a[i].qos == b[i].qos))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+TopologyBase::TcOutcome TopologyBase::apply_tc(const TcMessage& tc,
+                                               double now) {
+  TcOutcome out;
+  auto it = entries_.find(tc.originator);
+  if (it != entries_.end() && it->second.expires >= now &&
+      !newer(tc.ansn, it->second.ansn) && tc.ansn != it->second.ansn) {
+    return out;  // stale — every flag false
+  }
+  out.fresh = true;
+  if (it == entries_.end()) {
+    // New originator: digest folds the originator id, so even an empty
+    // advertisement is a visible change.
+    out.links_changed = true;
+    out.view_changed = !tc.advertised.empty();
+    Entry& entry = entries_[tc.originator];
+    entry.ansn = tc.ansn;
+    entry.expires = now + hold_time_;
+    entry.advertised = tc.advertised;
+    return out;
+  }
+  Entry& entry = it->second;
+  // The digest ignores expiry, so `links_changed` compares against the
+  // held advertisement regardless of validity; the routing view is
+  // validity-aware, so a held-but-expired entry contributed nothing and
+  // any non-empty refresh revives it.
+  out.links_changed = !same_links(entry.advertised, tc.advertised);
+  out.view_changed = entry.expires < now
+                         ? !tc.advertised.empty()
+                         : !same_view(entry.advertised, tc.advertised);
+  entry.ansn = tc.ansn;
+  entry.expires = now + hold_time_;
+  entry.advertised = tc.advertised;
+  return out;
+}
+
+bool TopologyBase::expire(double now) {
+  bool removed = false;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.expires < now) {
       it = entries_.erase(it);
+      removed = true;
     } else {
       ++it;
     }
   }
+  return removed;
+}
+
+double TopologyBase::next_expiry() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [originator, entry] : entries_)
+    next = std::min(next, entry.expires);
+  return next;
 }
 
 Graph TopologyBase::to_graph(std::size_t node_count) const {
@@ -33,16 +93,25 @@ Graph TopologyBase::to_graph(std::size_t node_count) const {
 
 Graph TopologyBase::to_graph(std::size_t node_count, double now) const {
   Graph graph(node_count);
+  to_graph_into(graph, node_count, now);
+  return graph;
+}
+
+double TopologyBase::to_graph_into(Graph& out, std::size_t node_count,
+                                   double now) const {
+  out.reset_nodes(node_count);
+  double fresh_until = std::numeric_limits<double>::infinity();
   for (const auto& [originator, entry] : entries_) {
     if (originator >= node_count) continue;
     if (entry.expires < now) continue;  // held but already invalid
+    fresh_until = std::min(fresh_until, entry.expires);
     for (const LinkAdvert& a : entry.advertised) {
       if (a.neighbor >= node_count) continue;
-      if (!graph.has_edge(originator, a.neighbor))
-        graph.add_edge(originator, a.neighbor, a.qos);
+      if (!out.has_edge(originator, a.neighbor))
+        out.add_edge(originator, a.neighbor, a.qos);
     }
   }
-  return graph;
+  return fresh_until;
 }
 
 std::uint64_t TopologyBase::digest(std::uint64_t h) const {

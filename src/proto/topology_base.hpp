@@ -26,11 +26,38 @@ class TopologyBase {
  public:
   explicit TopologyBase(double hold_time = 15.0) : hold_time_(hold_time) {}
 
+  /// What apply_tc did with a TC — the change taxonomy the caller needs to
+  /// keep derived state coherent without diffing the whole base:
+  ///  - `fresh`: the TC was accepted (not rejected as a stale ANSN).
+  ///  - `links_changed`: the held advertised neighbor-id sequence changed,
+  ///    i.e. the accept is visible to `digest` (a pure refresh that renews
+  ///    the hold time of an identical advertisement is not).
+  ///  - `view_changed`: the *routing view* contribution of this originator
+  ///    changed — neighbor ids or QoS differ, or a held-but-expired entry
+  ///    (excluded from the validity-aware to_graph) came back to life — so
+  ///    any cached to_graph product must be invalidated.
+  struct TcOutcome {
+    bool fresh = false;
+    bool links_changed = false;
+    bool view_changed = false;
+  };
+
+  /// Processes a TC and reports exactly what changed.
+  TcOutcome apply_tc(const TcMessage& tc, double now);
+
   /// Processes a TC. Returns false when the TC is stale (older ANSN than
   /// what we hold) and was ignored.
-  bool on_tc(const TcMessage& tc, double now);
+  bool on_tc(const TcMessage& tc, double now) {
+    return apply_tc(tc, now).fresh;
+  }
 
-  void expire(double now);
+  /// Drops entries past their hold time. Returns true when anything was
+  /// removed — a digest-visible state change.
+  bool expire(double now);
+
+  /// Earliest hold-time deadline over every held entry (+infinity when the
+  /// base is empty) — when the next expiry-driven purge event is due.
+  double next_expiry() const;
 
   /// Drops every entry — the per-run reset of a reused protocol stack.
   void clear() { entries_.clear(); }
@@ -47,6 +74,13 @@ class TopologyBase {
   /// forms agree; under loss or crash faults this is where stale links
   /// disappear first.
   Graph to_graph(std::size_t node_count, double now) const;
+
+  /// Rebuilds `out` in place (capacity-preserving) with exactly what the
+  /// validity-aware to_graph would return, and reports how long the result
+  /// stays faithful: the earliest hold-time deadline among the *included*
+  /// entries (+infinity when none expire). Until that instant — and absent
+  /// any mutation — a caller may keep routing on `out` without rebuilding.
+  double to_graph_into(Graph& out, std::size_t node_count, double now) const;
 
   /// Live advertised set of one originator (empty when unknown).
   std::vector<NodeId> advertised_of(NodeId originator) const;

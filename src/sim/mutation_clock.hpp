@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace qolsr {
+
+/// Event-driven quiescence clock: every node reports each digest-visible
+/// protocol state change (TC content accepted, neighbor entry appeared /
+/// lapsed, selection output changed, soft-state purge, crash/restart) the
+/// instant it happens, so the convergence detector waits on "no mutation
+/// for a dwell window" directly instead of polling a whole-network digest
+/// on a sampling grid — and `last_at` is the *exact* timestamp of the
+/// final state-changing event, not that timestamp rounded up to the grid.
+///
+/// The contract mirrors the digest it replaces (see OlsrNode::state_digest):
+/// a mutation is noted iff the digest fold would differ — pure timer
+/// refreshes (an identical TC renewing its hold time, a HELLO renewing a
+/// link) are not mutations, so periodic keepalives cannot postpone
+/// convergence, exactly as they could not change the sampled digest.
+///
+/// The clock also snapshots the run's scalar trace counters at every
+/// mutation, giving the simulator "counters as of converged_at" for free —
+/// previously approximated by the counters at the sampling instant that
+/// first observed the change (up to one HELLO interval of extra traffic).
+class MutationClock {
+ public:
+  /// Points the per-mutation counter snapshot at the live trace.
+  void bind(const TraceStats* live) { live_ = live; }
+
+  /// Per-run rewind: no mutations yet, "last change" anchored at `now`.
+  void reset(double now) {
+    count_ = 0;
+    last_at_ = now;
+    snap();
+  }
+
+  /// One digest-visible state change at simulation time `now`.
+  void note(double now) {
+    ++count_;
+    last_at_ = now;
+    snap();
+  }
+
+  /// Re-anchors `last_at` (without counting a mutation) — used by a
+  /// convergence call starting after the last recorded change, so a
+  /// measurement window never reports a convergence instant that predates
+  /// the window (e.g. re-convergence after a no-op incident is 0, not
+  /// negative).
+  void rebase(double now) {
+    last_at_ = now;
+    snap();
+  }
+
+  /// Total mutations since reset (monotonic within a run).
+  std::uint64_t count() const { return count_; }
+  /// Exact timestamp of the most recent mutation (or anchor).
+  double last_at() const { return last_at_; }
+  /// Scalar trace counters as of `last_at` (journeys always empty).
+  const TraceStats& counters_at_last() const { return snapshot_; }
+
+ private:
+  void snap() {
+    if (live_ != nullptr) copy_counters(snapshot_, *live_);
+  }
+
+  const TraceStats* live_ = nullptr;
+  std::uint64_t count_ = 0;
+  double last_at_ = 0.0;
+  TraceStats snapshot_;
+};
+
+}  // namespace qolsr

@@ -1,6 +1,7 @@
 #include "sim/olsr_node.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "routing/advertised_topology.hpp"
 #include "util/digest.hpp"
@@ -14,6 +15,17 @@ namespace {
 /// stream — all derive from the same run seed, and honest nodes never
 /// draw from this one.
 constexpr std::uint64_t kAdversaryNodeSalt = 0x3c6ef372fe94f82bULL;
+
+/// Nudge used when a topology purge event lands exactly on an entry's
+/// hold-time deadline: soft state is valid *through* its deadline (the
+/// validity reads use `expires < now`), so the purge must run strictly
+/// after it — one simulated nanosecond, far below any protocol timescale.
+constexpr double kPurgeLag = 1e-9;
+
+/// route_cache_ sentinel for "no memoized next hop yet this epoch". Cannot
+/// collide with a route result: next hops are deployment ids (< n) or
+/// kInvalidNode, never this value.
+constexpr NodeId kRouteNotCached = kInvalidNode - 1;
 
 /// Deployment-range sanitation of a structurally valid parse: node ids in
 /// this simulation are dense 0..n-1, so a frame naming any id outside the
@@ -73,6 +85,11 @@ void OlsrNode::reset(const AnsSelector& flooding_selector,
   last_advertised_.clear();
   next_sequence_ = 0;
   alive_ = true;
+  knowledge_valid_ = false;
+  // Pending purge events died with the previous run's event queue (the
+  // Simulator clears it before resetting nodes).
+  purge_pending_ = false;
+  mutations_ = nullptr;
   role_ = AdversaryKind::kHonest;
   monitor_ = nullptr;
   phantom_targets_.clear();
@@ -96,6 +113,18 @@ void OlsrNode::crash() {
   flooding_mpr_.clear();
   ans_.clear();
   last_advertised_.clear();
+  knowledge_valid_ = false;
+  note_mutation();  // the alive bit (and the wiped tables) are state
+}
+
+void OlsrNode::restart() {
+  alive_ = true;
+  knowledge_valid_ = false;
+  note_mutation();  // the alive bit is state
+}
+
+void OlsrNode::note_mutation() {
+  if (mutations_ != nullptr) mutations_->note(medium_.now());
 }
 
 void OlsrNode::start() {
@@ -129,8 +158,14 @@ std::vector<LinkAdvert> OlsrNode::build_hello_links() const {
 
 void OlsrNode::recompute_selection() {
   const LocalView view = tables_.build_local_view();
-  flooding_mpr_ = flooding_selector_->select(view);
-  ans_ = ans_selector_->select(view);
+  std::vector<NodeId> flooding = flooding_selector_->select(view);
+  std::vector<NodeId> ans = ans_selector_->select(view);
+  // Selection output is digest-visible state: report a change the instant
+  // it is computed. (It does not touch the knowledge cache — that view is
+  // the TC topology plus own symmetric links, independent of MPR/ANS.)
+  if (flooding != flooding_mpr_ || ans != ans_) note_mutation();
+  flooding_mpr_ = std::move(flooding);
+  ans_ = std::move(ans);
   if (ans_ != last_advertised_) {
     ++ansn_;
     last_advertised_ = ans_;
@@ -142,7 +177,9 @@ void OlsrNode::hello_tick() {
   // its jitter draw happen regardless), but the protocol body is skipped.
   if (alive_) {
     const double now = medium_.now();
-    tables_.expire(now);
+    const NeighborTables::Outcome lapsed = tables_.expire(now);
+    if (lapsed.digest_changed) note_mutation();
+    if (lapsed.view_changed) knowledge_valid_ = false;
     recompute_selection();
 
     HelloMessage hello;
@@ -172,8 +209,12 @@ void OlsrNode::tc_tick() {
     return;
   }
   const double now = medium_.now();
-  tables_.expire(now);
-  topology_.expire(now);
+  const NeighborTables::Outcome lapsed = tables_.expire(now);
+  if (lapsed.digest_changed) note_mutation();
+  if (lapsed.view_changed) knowledge_valid_ = false;
+  // Topology-base expiry is event-driven (topology_purge_tick), not tied
+  // to this tick anymore; the duplicate set keeps its opportunistic sweep
+  // here (its entries are not digest-visible state).
   duplicates_.expire(now);
   recompute_selection();
 
@@ -194,7 +235,10 @@ void OlsrNode::tc_tick() {
     header.sequence = next_sequence_++;
     header.ttl = config_.tc_ttl;
     // Our own advertisement is part of the topology we route on.
-    topology_.on_tc(tc, now);
+    const TopologyBase::TcOutcome applied = topology_.apply_tc(tc, now);
+    if (applied.links_changed) note_mutation();
+    if (applied.view_changed) knowledge_valid_ = false;
+    if (applied.fresh) schedule_topology_purge();
     // Record our own flood so re-broadcasts that echo back are dropped.
     duplicates_.check_and_insert(id_, header.sequence, now);
     if (monitor_ != nullptr) monitor_->record_tc_emission(id_, tc.ansn, now);
@@ -286,7 +330,10 @@ void OlsrNode::on_receive(NodeId from, const std::vector<std::byte>& bytes) {
 void OlsrNode::handle_hello(const HelloMessage& hello, NodeId from) {
   const LinkQos* qos = medium_.measured_qos(id_, from);
   if (qos == nullptr) return;  // spurious reception
-  tables_.on_hello(hello, *qos, medium_.now());
+  const NeighborTables::Outcome changed =
+      tables_.on_hello(hello, *qos, medium_.now());
+  if (changed.digest_changed) note_mutation();
+  if (changed.view_changed) knowledge_valid_ = false;
 }
 
 void OlsrNode::handle_tc(const PacketHeader& header, const TcMessage& tc,
@@ -300,8 +347,12 @@ void OlsrNode::handle_tc(const PacketHeader& header, const TcMessage& tc,
     return;
   }
   if (tc.originator != id_) {
-    if (!topology_.on_tc(tc, now) && monitor_ != nullptr)
+    const TopologyBase::TcOutcome applied = topology_.apply_tc(tc, now);
+    if (!applied.fresh && monitor_ != nullptr)
       monitor_->record_stale_tc_rejection(now);
+    if (applied.links_changed) note_mutation();
+    if (applied.view_changed) knowledge_valid_ = false;
+    if (applied.fresh) schedule_topology_purge();
     if (role_ == AdversaryKind::kReplayer && !captured_valid_) {
       // Capture the first foreign TC; tc_tick keeps re-emitting it with a
       // fresh message sequence but the original (aging) ANSN.
@@ -395,13 +446,22 @@ void OlsrNode::handle_data(PacketHeader header, const DataMessage& data) {
 
 void OlsrNode::forward_or_deliver(PacketHeader header,
                                   const DataMessage& data) {
-  const Graph knowledge = knowledge_graph();
+  const Graph& knowledge = knowledge_graph();
   if (data.destination >= knowledge.node_count()) {
+    // Parse-time sanitation (in_deployment) already rejects any received
+    // frame naming an out-of-deployment id, so an oversized destination
+    // here is a forged or wire-corrupted frame, not a routing failure —
+    // charge the wire, not the knowledge graph, or the figure-B/R fate
+    // columns misattribute corruption as `no route`.
     trace_.data_dropped += 1;
-    mark_drop(data.payload_id, TraceStats::Journey::Drop::kNoRoute);
+    mark_drop(data.payload_id, TraceStats::Journey::Drop::kMalformed);
     return;
   }
-  const NodeId next = (*route_fn_)(knowledge, id_, data.destination);
+  NodeId next = route_cache_[data.destination];
+  if (next == kRouteNotCached) {
+    next = (*route_fn_)(knowledge, id_, data.destination);
+    route_cache_[data.destination] = next;
+  }
   if (next == kInvalidNode) {
     trace_.data_dropped += 1;
     mark_drop(data.payload_id, TraceStats::Journey::Drop::kNoRoute);
@@ -430,22 +490,60 @@ std::uint64_t OlsrNode::state_digest(std::uint64_t h) const {
   return topology_.digest(h);
 }
 
-Graph OlsrNode::knowledge_graph() const {
+const Graph& OlsrNode::knowledge_graph() {
   // TC-advertised topology plus our own symmetric links. Deliberately NOT
   // the full 2-hop view: heterogeneous per-hop knowledge makes QoS
   // hop-by-hop forwarding loop (see routing/forwarding.hpp). Validity-
   // aware read: an entry past its hold time is dead for routing even if
-  // the next TC tick has not purged it yet — under loss that window is
-  // where blackholes hide.
-  Graph knowledge =
-      topology_.to_graph(medium_.node_count(), medium_.now());
-  for (NodeId neighbor : tables_.symmetric_neighbors()) {
-    const LinkQos* qos = tables_.link_qos(neighbor);
-    if (qos != nullptr && neighbor < knowledge.node_count() &&
-        !knowledge.has_edge(id_, neighbor))
-      knowledge.add_edge(id_, neighbor, *qos);
+  // no purge event has removed it yet — under loss that window is where
+  // blackholes hide. The cache reproduces that semantics exactly: it is
+  // invalidated on every view-changing mutation, and `fresh_until` (the
+  // earliest hold deadline baked into the build) bounds how long the
+  // built view matches a validity-aware read taken at query time.
+  const double now = medium_.now();
+  if (!knowledge_valid_ || now > knowledge_fresh_until_) {
+    knowledge_fresh_until_ =
+        topology_.to_graph_into(knowledge_, medium_.node_count(), now);
+    tables_.for_each_symmetric([this](NodeId neighbor, const LinkQos& qos) {
+      if (neighbor < knowledge_.node_count() &&
+          !knowledge_.has_edge(id_, neighbor))
+        knowledge_.add_edge(id_, neighbor, qos);
+    });
+    // The view changed (or aged out): every memoized next hop is stale.
+    route_cache_.assign(knowledge_.node_count(), kRouteNotCached);
+    knowledge_valid_ = true;
   }
-  return knowledge;
+  return knowledge_;
+}
+
+void OlsrNode::schedule_topology_purge() {
+  // One pending event per node: it always fires no later than the base's
+  // earliest deadline (deadlines only move up on refresh, and any new
+  // entry expires at now + hold, never before an already-scheduled fire
+  // time), and reschedules itself against the then-current deadline.
+  if (purge_pending_) return;
+  const double next = topology_.next_expiry();
+  if (next == std::numeric_limits<double>::infinity()) return;
+  purge_pending_ = true;
+  medium_.schedule_in(std::max(next - medium_.now(), kPurgeLag),
+                      [this] { topology_purge_tick(); });
+}
+
+void OlsrNode::topology_purge_tick() {
+  purge_pending_ = false;
+  const double now = medium_.now();
+  if (topology_.expire(now)) {
+    note_mutation();  // held entries left the digest
+    knowledge_valid_ = false;
+  }
+  // Re-arm at the new earliest deadline. An entry expiring exactly `now`
+  // is still valid at this instant (strict `<` everywhere), so the re-arm
+  // lags it by kPurgeLag instead of spinning at the same timestamp.
+  const double next = topology_.next_expiry();
+  if (next == std::numeric_limits<double>::infinity()) return;
+  purge_pending_ = true;
+  medium_.schedule_in(std::max(next - now, kPurgeLag),
+                      [this] { topology_purge_tick(); });
 }
 
 }  // namespace qolsr

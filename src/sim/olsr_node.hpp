@@ -14,6 +14,7 @@
 #include "sim/adversary.hpp"
 #include "sim/invariants.hpp"
 #include "sim/medium.hpp"
+#include "sim/mutation_clock.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
@@ -86,8 +87,14 @@ class OlsrNode {
   /// not be rejected as stale by neighbors still holding its pre-crash
   /// ANSN and duplicate-set entries.
   void crash();
-  void restart() { alive_ = true; }
+  void restart();
   bool alive() const { return alive_; }
+
+  /// Wires the network-wide mutation clock (owned by the Simulator): every
+  /// digest-visible state change of this node is reported the instant it
+  /// happens. Nullptr (the default) disarms the reporting — standalone
+  /// node tests pay nothing.
+  void set_mutation_clock(MutationClock* clock) { mutations_ = clock; }
 
   /// Adversary wiring (driven by Simulator::reset when an AdversarySpec is
   /// active; reset() reverts both). A misbehaving node draws its lie
@@ -112,8 +119,13 @@ class OlsrNode {
   const std::vector<NodeId>& flooding_mpr() const { return flooding_mpr_; }
   const std::vector<NodeId>& ans() const { return ans_; }
   /// Knowledge graph the node routes on: TC topology merged with its own
-  /// HELLO-derived local view.
-  Graph knowledge_graph() const;
+  /// HELLO-derived local view. Cached: the returned reference stays valid
+  /// (and the rebuild is skipped) until the next protocol mutation — TC
+  /// accept with changed content, neighbor-table change, soft-state
+  /// expiry, crash/restart — so steady-state forwarding costs two
+  /// comparisons per frame instead of a Graph materialization per frame.
+  /// The reference is invalidated by any subsequent protocol event.
+  const Graph& knowledge_graph();
 
   /// Folds the node's protocol state (selection results, link state,
   /// topology base — no timers) into a running digest. Equal across steps
@@ -124,6 +136,13 @@ class OlsrNode {
  private:
   void hello_tick();
   void tc_tick();
+  void topology_purge_tick();
+  /// Ensures a purge event is pending whenever the topology base holds
+  /// entries (the lazy-deletion timer: one pending event per node, fired
+  /// at a past earliest-deadline, rescheduled at the then-current one).
+  void schedule_topology_purge();
+  /// Reports one digest-visible state change to the network clock.
+  void note_mutation();
   void recompute_selection();
   void lie_in_tc(TcMessage& tc);
   void replay_captured_tc();
@@ -153,6 +172,27 @@ class OlsrNode {
   std::vector<NodeId> last_advertised_;
   std::uint16_t next_sequence_ = 0;
   bool alive_ = true;  ///< false between crash() and restart()
+  MutationClock* mutations_ = nullptr;  ///< network clock; may be null
+
+  // ---- cached knowledge view (see knowledge_graph) ----------------------
+  Graph knowledge_;              ///< reusable storage, rebuilt on demand
+  bool knowledge_valid_ = false;
+  /// Per-destination next-hop memo over knowledge_: entry `kRouteNotCached`
+  /// means "not computed this epoch"; anything else (including
+  /// kInvalidNode = no route) is the memoized result of route_fn_ on the
+  /// current cached view. Reset whenever knowledge_ is rebuilt, so a hit is
+  /// byte-identical to re-invoking the route function — forwarding a flow
+  /// of packets costs one route computation per (epoch, destination)
+  /// instead of one full Dijkstra per traversed hop.
+  std::vector<NodeId> route_cache_;
+  /// Earliest hold-time deadline among the topology entries baked into
+  /// knowledge_: past it the cached view could include an entry the
+  /// validity-aware read would exclude, so the next query rebuilds.
+  double knowledge_fresh_until_ = 0.0;
+  /// Whether a topology purge event is pending on the event queue. Events
+  /// cannot be cancelled, so this stays true until the event fires; the
+  /// simulator clears the queue before reset, which resets it.
+  bool purge_pending_ = false;
 
   // ---- adversary state (inert while role_ == kHonest) -------------------
   AdversaryKind role_ = AdversaryKind::kHonest;

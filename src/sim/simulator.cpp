@@ -38,6 +38,8 @@ void Simulator::reset(const Graph& graph,
   config_.seed = seed;
   trace_ = TraceStats{};
   trace_at_convergence_ = TraceStats{};
+  mutations_.bind(&trace_);
+  mutations_.reset(0.0);
   const bool adversarial = adversaries != nullptr && adversaries->active();
   lossy_.reset(faults, seed, adversarial ? adversaries->corrupt_rate : 0.0);
   contended_.reset(traffic);
@@ -56,6 +58,7 @@ void Simulator::reset(const Graph& graph,
     nodes_.push_back(std::make_unique<OlsrNode>(
         static_cast<NodeId>(nodes_.size()), lossy_, trace_, flooding_selector,
         ans_selector, route_fn_, config_.node, seed));
+  for (auto& node : nodes_) node->set_mutation_clock(&mutations_);
 
   if (adversarial) {
     // Roster draw from a dedicated salted stream: replayable from the run
@@ -92,30 +95,34 @@ void Simulator::reset(const Graph& graph,
 }
 
 ConvergenceReport Simulator::run_to_convergence() {
-  const double step = config_.derived_convergence_step();
   const double dwell = config_.derived_convergence_dwell();
   // The cap is a *budget from now*, not an absolute clock value: a second
   // call — measuring re-convergence after an injected fault — gets the
   // same observation window as the first.
   const double deadline = now() + config_.derived_max_sim_time();
 
-  ConvergenceReport report;
-  std::uint64_t digest = state_digest();
-  report.converged_at = now();
-  trace_at_convergence_ = trace_;
+  // Anchor the clock at this call: a window that observes no further
+  // mutation converged *when asked*, never at a change that predates it
+  // (timed re-convergence after a no-op incident must be 0, not negative).
+  if (mutations_.last_at() < now()) mutations_.rebase(now());
+
+  // Event-driven quiescence: chase `last mutation + dwell`. Every chunk
+  // either reaches the current settle point (no mutation happened inside
+  // it — the network is quiescent) or a node moved the goalpost while it
+  // ran; no digest polling, no sampling grid.
   while (now() < deadline) {
-    run_until(std::min(now() + step, deadline));
-    const std::uint64_t next = state_digest();
-    if (next != digest) {
-      digest = next;
-      report.converged_at = now();
-      trace_at_convergence_ = trace_;
-    } else if (now() - report.converged_at >= dwell) {
-      break;
-    }
+    const double settled_at = mutations_.last_at() + dwell;
+    if (now() >= settled_at) break;
+    run_until(std::min(settled_at, deadline));
   }
+
+  ConvergenceReport report;
+  report.converged_at = mutations_.last_at();
   report.end_time = now();
-  report.converged = report.end_time - report.converged_at >= dwell;
+  // Same float expression the loop chased (converged_at + dwell), so the
+  // quiescent exit always classifies as converged.
+  report.converged = report.end_time >= report.converged_at + dwell;
+  copy_counters(trace_at_convergence_, mutations_.counters_at_last());
   return report;
 }
 

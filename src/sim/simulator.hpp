@@ -11,6 +11,7 @@
 #include "sim/invariants.hpp"
 #include "sim/lossy_medium.hpp"
 #include "sim/medium.hpp"
+#include "sim/mutation_clock.hpp"
 #include "sim/olsr_node.hpp"
 #include "sim/trace.hpp"
 #include "sim/traffic.hpp"
@@ -26,9 +27,10 @@ struct SimConfig {
   std::uint64_t seed = 1;
 
   // ---- convergence detection (run_to_convergence) -----------------------
-  /// How often the detector samples the network state digest. 0 derives
-  /// the HELLO interval — state only changes on protocol ticks, so finer
-  /// sampling buys resolution no protocol event can use.
+  /// Unused since detection became event-driven (the nodes report every
+  /// state change to the MutationClock the instant it happens, so there is
+  /// no sampling grid to configure). Kept so existing configs still parse;
+  /// derived_convergence_step() remains for tests that want the old grid.
   double convergence_step = 0.0;
   /// How long the digest must stay unchanged to declare convergence. 0
   /// derives `topology_hold + tc_interval + 2*jitter`: long enough that a
@@ -60,9 +62,14 @@ struct SimConfig {
 /// (the *actual* convergence time the control-plane stats report) and
 /// whether the dwell window confirmed quiescence before the hard cap.
 struct ConvergenceReport {
-  SimTime converged_at = 0.0;  ///< time of the last observed state change
-  SimTime end_time = 0.0;      ///< simulation clock when the run stopped
-  bool converged = false;      ///< state held stable for the dwell window
+  /// Exact timestamp of the final state-changing event (event-driven via
+  /// the MutationClock — not rounded up to a sampling grid). Never earlier
+  /// than the instant run_to_convergence was called: a window that
+  /// observes no mutation reports "converged when asked", so timed
+  /// re-convergence after a no-op incident is 0, not negative.
+  SimTime converged_at = 0.0;
+  SimTime end_time = 0.0;  ///< simulation clock when the run stopped
+  bool converged = false;  ///< state held stable for the dwell window
 };
 
 /// Whole-network discrete-event simulation of the OLSR control plane over
@@ -122,12 +129,17 @@ class Simulator final : public Medium {
   /// Advances the simulation clock.
   void run_until(SimTime horizon) { queue_.run_until(horizon); }
 
-  /// Runs until the network-wide protocol state digest has been stable for
-  /// the config-derived dwell window (or the config-derived hard cap is
-  /// hit), sampling every config-derived step. Returns when the state
-  /// last changed — the measured convergence time — instead of assuming a
-  /// fixed horizon.
+  /// Runs until no node has reported a state mutation for the
+  /// config-derived dwell window (or the config-derived hard cap is hit).
+  /// Event-driven and exact: nodes bump the network MutationClock at every
+  /// digest-visible state change, so the detector waits on quiescence
+  /// directly — no sampling grid — and `converged_at` is the precise
+  /// timestamp of the last state-changing event.
   ConvergenceReport run_to_convergence();
+
+  /// The network mutation clock (inspection: exact last-change time and
+  /// the monotonic mutation count the convergence detector waits on).
+  const MutationClock& mutations() const { return mutations_; }
 
   /// Failure injection: takes the radio link (u,v) down in the fault
   /// overlay (the ground-truth graph is untouched — it is borrowed const).
@@ -172,10 +184,11 @@ class Simulator final : public Medium {
   const Graph& network() const { return *graph_; }
   const TraceStats& trace() const { return trace_; }
   /// The trace counters as of ConvergenceReport::converged_at — snapshotted
-  /// by run_to_convergence at the last observed state change, so
+  /// by the MutationClock at the last state-changing event, so
   /// control-plane cost is measured over the same window for every
   /// protocol regardless of how long the quiescence dwell (or the hard
-  /// cap) kept the simulation running afterwards.
+  /// cap) kept the simulation running afterwards. Scalar counters only;
+  /// the journey map is not part of the snapshot (and is empty here).
   const TraceStats& trace_at_convergence() const {
     return trace_at_convergence_;
   }
@@ -228,6 +241,7 @@ class Simulator final : public Medium {
   EventQueue queue_;
   TraceStats trace_;
   TraceStats trace_at_convergence_;  ///< see trace_at_convergence()
+  MutationClock mutations_;  ///< nodes report every state change here
   LossyMedium lossy_;           ///< the Medium the nodes transmit through
   ContendedMedium contended_;   ///< capacity layer under the fault layer
   util::Rng fault_rng_{1};      ///< victim draws for random incidents

@@ -64,4 +64,25 @@ struct TraceStats {
   std::unordered_map<std::uint32_t, Journey> journeys;
 };
 
+/// Copies only the scalar counters of `from` into `to`, leaving `to`'s
+/// journey map untouched — the cheap per-mutation snapshot the event-driven
+/// convergence detector takes at every state change (copying the journey
+/// map there would put an O(packets) cost on every table mutation).
+inline void copy_counters(TraceStats& to, const TraceStats& from) {
+  to.hello_sent = from.hello_sent;
+  to.tc_originated = from.tc_originated;
+  to.tc_forwarded = from.tc_forwarded;
+  to.tc_dropped_duplicate = from.tc_dropped_duplicate;
+  to.control_bytes = from.control_bytes;
+  to.data_sent = from.data_sent;
+  to.data_forwarded = from.data_forwarded;
+  to.data_delivered = from.data_delivered;
+  to.data_dropped = from.data_dropped;
+  to.frames_lost = from.frames_lost;
+  to.frames_blocked = from.frames_blocked;
+  to.frames_queue_dropped = from.frames_queue_dropped;
+  to.frames_corrupted = from.frames_corrupted;
+  to.frames_malformed = from.frames_malformed;
+}
+
 }  // namespace qolsr

@@ -25,9 +25,14 @@ std::vector<std::string> golden_flags() {
           "--format=csv"};
 }
 
-/// CSV of the fault-free packet engine, captured before the fault engine
-/// existed. An inactive FaultPlan must keep reproducing this byte-for-byte
-/// — same event order, same RNG draws, same columns.
+/// CSV of the fault-free packet engine. An inactive FaultPlan must keep
+/// reproducing this byte-for-byte — same event order, same RNG draws, same
+/// columns. Re-pinned when convergence detection became event-driven: the
+/// figure columns (set sizes, delivery, overhead, hops, message counts,
+/// control bytes) are unchanged from the pre-change capture, while the
+/// convergence columns carry the exact last-mutation timestamp (no longer
+/// rounded up to the HELLO sampling grid) and duplicate_drops is
+/// snapshotted at that instant rather than at the next grid tick.
 constexpr const char* kFaultFreePacketCsv =
     "metric,density,runs,avg_nodes,protocol,set_size_mean,set_size_stddev,"
     "delivered,failed,overhead_mean,overhead_stddev,path_hops_mean,"
@@ -35,11 +40,13 @@ constexpr const char* kFaultFreePacketCsv =
     "control_bytes_mean,convergence_time_mean,convergence_time_stddev,"
     "unconverged_runs\n"
     "bandwidth,8,2,36.5,qolsr_mpr2_bandwidth,2.620300752,0.1329148085,2,0,"
-    "0.3333333333,0.4714045208,2,146,49.5,619,2504.5,144266,8,0,0\n"
+    "0.3333333333,0.4714045208,2,146,49.5,619,2501,144266,7.460765835,"
+    "0.01570220622,0\n"
     "bandwidth,8,2,36.5,topology_filtering_bandwidth,2.571804511,"
-    "0.1217499646,2,0,0,0,2.5,146,51.5,505.5,1796.5,123078.5,8,0,0\n"
+    "0.1217499646,2,0,0,0,2.5,146,51.5,505.5,1795.5,123078.5,7.460765835,"
+    "0.01570220622,0\n"
     "bandwidth,8,2,36.5,fnbp_bandwidth,1.691729323,0.2339300629,2,0,0,0,"
-    "2.5,146,51.5,505.5,1796.5,97400,8,0,0\n";
+    "2.5,146,51.5,505.5,1795.5,97400,7.460765835,0.01570220622,0\n";
 
 std::string run_to_csv(const std::vector<std::string>& flags) {
   const ExperimentSpec spec = parse_experiment_spec(flags);
@@ -57,6 +64,40 @@ TEST(Robustness, LossZeroFlagIsByteIdenticalToNoFaultFlags) {
   auto flags = golden_flags();
   flags.push_back("--loss=0");
   EXPECT_EQ(run_to_csv(flags), kFaultFreePacketCsv);
+}
+
+TEST(Robustness, CorruptZeroFlagIsByteIdenticalToNoFaultFlags) {
+  // --corrupt=0 leaves the adversary spec inactive: no corruption gate is
+  // installed, no extra RNG draws happen, and the run must reproduce the
+  // fault-free pin byte-for-byte (same contract as --loss=0).
+  auto flags = golden_flags();
+  flags.push_back("--corrupt=0");
+  EXPECT_EQ(run_to_csv(flags), kFaultFreePacketCsv);
+}
+
+TEST(Robustness, WireCorruptionChargesMalformedNotNoRoute) {
+  // A corrupted frame that still parses as a data frame with an
+  // out-of-range destination must be charged to the wire (kMalformed), so
+  // at the sweep level every probe fate lands in either a routed fate
+  // (no-route/loop/medium) or the invariants block — never misattributed
+  // such that the fates overshoot the failure count.
+  const ExperimentSpec spec = parse_experiment_spec(
+      {"--backend=packet", "--densities=8", "--field=400x400", "--runs=3",
+       "--seed=7", "--threads=1", "--probes=8", "--pairs=any",
+       "--corrupt=0.25"});
+  const ExperimentResult result = run_experiment(spec);
+  ASSERT_EQ(result.sweep.size(), 1u);
+  bool corrupted_somewhere = false;
+  for (const ProtocolStats& p : result.sweep[0].protocols) {
+    SCOPED_TRACE(p.name);
+    EXPECT_LE(p.no_route_losses + p.loop_losses + p.medium_losses, p.failed);
+    corrupted_somewhere =
+        corrupted_somewhere || p.invariants.frames_corrupted.mean() > 0.0;
+    // At a 25% per-frame flip rate the sanitation layer must have rejected
+    // frames as malformed; none of those may leak into no-route.
+    EXPECT_GT(p.invariants.frames_malformed.mean(), 0.0);
+  }
+  EXPECT_TRUE(corrupted_somewhere);
 }
 
 TEST(Robustness, FaultScheduleIsThreadCountInvariant) {

@@ -1,0 +1,126 @@
+// Steady-state allocation contracts of the packet simulator's hot paths.
+// This TU replaces the global operator new/delete pair with counting
+// wrappers; each test warms a structure to its high-water capacity, then
+// asserts the steady-state window performs zero (duplicate set, knowledge
+// cache) or strictly bounded (whole forwarding path) heap allocations —
+// the regressions this guards against are exactly the per-packet
+// to_graph/Dijkstra/map-node allocations the caching work removed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/fnbp.hpp"
+#include "proto/duplicate_set.hpp"
+#include "routing/routing_table.hpp"
+#include "sim/simulator.hpp"
+#include "support/paper_graphs.hpp"
+#include "support/random_graphs.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace qolsr {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+OlsrNode::RouteFn workspace_routes(DijkstraWorkspace& dws,
+                                   NextHopScratch& bfs) {
+  return [&dws, &bfs](const Graph& g, NodeId self, NodeId dest) {
+    return compute_next_hop<BandwidthMetric>(g, self, dest, dws, bfs);
+  };
+}
+
+TEST(Allocation, DuplicateSetSteadyStateAllocatesNothing) {
+  DuplicateSet set(/*hold_time=*/5.0);
+  double now = 0.0;
+  const auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      now += 1.0;
+      for (NodeId originator = 0; originator < 40; ++originator)
+        set.check_and_insert(originator,
+                             static_cast<std::uint16_t>(r * 40 + originator),
+                             now);
+      set.expire(now);
+    }
+  };
+  // Warm to the high-water live set (~5 rounds in flight) and let the
+  // first expiry sweeps size the compaction spare.
+  churn(32);
+  const std::size_t warm_capacity = set.capacity();
+  const std::uint64_t before = allocations();
+  churn(256);
+  EXPECT_EQ(allocations() - before, 0u)
+      << "pooled duplicate set allocated in steady state";
+  EXPECT_EQ(set.capacity(), warm_capacity);
+}
+
+TEST(Allocation, KnowledgeCacheHitAllocatesNothing) {
+  const Graph g = testing::random_geometric_graph(13, 6.0, 250.0);
+  const Rfc3626Selector flooding;
+  const FnbpSelector<BandwidthMetric> ans;
+  Simulator sim(g, flooding, ans,
+                [](const Graph& kg, NodeId self, NodeId dest) {
+                  return compute_next_hop<BandwidthMetric>(kg, self, dest);
+                });
+  sim.run_to_convergence();
+
+  OlsrNode& node = sim.node(0);
+  (void)node.knowledge_graph();  // one rebuild charges the cache
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 1000; ++i) (void)node.knowledge_graph();
+  EXPECT_EQ(allocations() - before, 0u)
+      << "cached knowledge view allocated on a pure hit";
+}
+
+TEST(Allocation, SteadyStateForwardingIsBounded) {
+  // End-to-end budget for the whole data path — route memo hit, serialize,
+  // delivery event, journey bookkeeping — once caches are warm. The
+  // pre-cache code paid a Graph materialization plus a full Dijkstra per
+  // traversed hop (hundreds of allocations per packet); the budget below
+  // fails loudly if anything per-hop-heavy creeps back in.
+  const Graph g = testing::Fig1::build();
+  const Rfc3626Selector flooding;
+  const FnbpSelector<BandwidthMetric> ans;
+  DijkstraWorkspace dws;
+  NextHopScratch bfs;
+  Simulator sim(g, flooding, ans, workspace_routes(dws, bfs));
+  sim.run_to_convergence();
+
+  // Warm: route memo for the v1->v3 destination, journey-map buckets.
+  sim.node(testing::Fig1::v1).send_data(testing::Fig1::v3, 1);
+  sim.run_until(sim.now() + 1.0);
+  ASSERT_EQ(sim.trace().data_delivered, 1u);
+
+  const int kPackets = 50;
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < kPackets; ++i) {
+    sim.node(testing::Fig1::v1).send_data(testing::Fig1::v3, 100 + i);
+    sim.run_until(sim.now() + 0.05);
+  }
+  const std::uint64_t per_packet = (allocations() - before) / kPackets;
+  EXPECT_EQ(sim.trace().data_delivered, 1u + kPackets);
+  // 4 hops: one serialized frame + one delivery closure per hop, plus the
+  // journey record. Anything per-hop-heavy blows well past this.
+  EXPECT_LT(per_packet, 40u)
+      << "forwarding allocated " << per_packet << " times per packet";
+}
+
+}  // namespace
+}  // namespace qolsr
