@@ -2,6 +2,7 @@
 
 #include "eval/dynamic_runner.hpp"
 #include "eval/packet_runner.hpp"
+#include "eval/wire_runner.hpp"
 
 namespace qolsr {
 
@@ -56,13 +57,66 @@ class PacketBackend final : public EvalBackend {
   }
 };
 
+/// The multi-process path: one fleet of real qolsr_node daemons over the
+/// software switch per (run, protocol), digest-verified against an
+/// in-process Simulator twin. See eval/wire_runner.hpp.
+class WireBackend final : public EvalBackend {
+ public:
+  BackendId id() const override { return BackendId::kWire; }
+
+  std::vector<DensityStats> run(
+      const ExperimentSpec& spec,
+      const ResolvedProtocols& protocols) const override {
+    if (spec.scenario.dynamics.enabled())
+      throw ExperimentError(
+          "experiment '" + spec.name +
+          "': the wire backend runs static deployments only - drop "
+          "--mobility or use --backend=oracle");
+    if (spec.scenario.sweep_axis != Scenario::SweepAxis::kDensity)
+      throw ExperimentError(
+          "experiment '" + spec.name +
+          "': the wire backend sweeps density only (loss/load/adversary "
+          "axes live on --backend=packet)");
+    if (spec.per_run || spec.scenario.record_runs)
+      throw ExperimentError(
+          "experiment '" + spec.name +
+          "': the wire backend reports aggregates only (drop --per-run)");
+    // Every node of every run is a real OS process; refuse deployments
+    // whose expected fleets would fork-bomb the machine instead of timing
+    // out one by one.
+    DeploymentConfig field = spec.scenario.field;
+    for (const double density : spec.scenario.densities) {
+      field.degree = density;
+      if (field.expected_nodes() > 64.0)
+        throw ExperimentError(
+            "experiment '" + spec.name + "': density " +
+            std::to_string(density) + " expects ~" +
+            std::to_string(static_cast<long>(field.expected_nodes())) +
+            " nodes per deployment - every node is a real process; shrink "
+            "--field (e.g. 250x250) to keep wire fleets under 64");
+    }
+    return dispatch_metric(spec.metric, [&](auto tag) {
+      using M = typename decltype(tag)::type;
+      return run_wire_sweep<M>(spec, protocols);
+    });
+  }
+};
+
 }  // namespace
 
 const EvalBackend& backend_for(BackendId id) {
   static const OracleBackend oracle;
   static const PacketBackend packet;
-  return id == BackendId::kPacket ? static_cast<const EvalBackend&>(packet)
-                                  : oracle;
+  static const WireBackend wire;
+  switch (id) {
+    case BackendId::kPacket:
+      return packet;
+    case BackendId::kWire:
+      return wire;
+    case BackendId::kOracle:
+      break;
+  }
+  return oracle;
 }
 
 ResolvedProtocols resolve_protocols(const ExperimentSpec& spec,
@@ -75,7 +129,9 @@ ResolvedProtocols resolve_protocols(const ExperimentSpec& spec,
       protocols.owned.push_back(registry.create(name, spec.metric));
       protocols.ans.push_back(protocols.owned.back().get());
     }
-    if (spec.backend == BackendId::kPacket) {
+    // Backends that flood real packets (in-process or across processes)
+    // also need each protocol's TC-flooding role; the oracle does not.
+    if (spec.backend != BackendId::kOracle) {
       protocols.flooding.reserve(spec.selectors.size());
       for (const std::string& name : spec.selectors) {
         protocols.owned.push_back(

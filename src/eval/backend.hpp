@@ -29,7 +29,10 @@ struct ResolvedProtocols {
 ///    run_dynamic_sweep analytic path;
 ///  * PacketBackend (BackendId::kPacket) — run_packet_sweep: one
 ///    discrete-event Simulator per (run, protocol), converged, then
-///    measured from protocol state, including ControlPlaneStats.
+///    measured from protocol state, including ControlPlaneStats;
+///  * WireBackend (BackendId::kWire) — run_wire_sweep: one fleet of real
+///    qolsr_node processes over the software switch per (run, protocol),
+///    digest-verified against an in-process Simulator twin.
 ///
 /// `run` validates backend-specific spec constraints (e.g. the packet
 /// backend rejects mobility epochs for now) and throws ExperimentError.

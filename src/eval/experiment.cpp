@@ -8,13 +8,24 @@
 namespace qolsr {
 
 std::string_view backend_name(BackendId id) {
-  return id == BackendId::kPacket ? "packet" : "oracle";
+  for (const BackendInfo& info : kBackends)
+    if (info.id == id) return info.name;
+  return "oracle";
 }
 
 std::optional<BackendId> parse_backend_id(std::string_view name) {
-  for (BackendId id : kAllBackendIds)
-    if (name == backend_name(id)) return id;
+  for (const BackendInfo& info : kBackends)
+    if (name == info.name) return info.id;
   return std::nullopt;
+}
+
+std::string backend_names() {
+  std::string out;
+  for (const BackendInfo& info : kBackends) {
+    if (!out.empty()) out += "|";
+    out += info.name;
+  }
+  return out;
 }
 
 namespace {
@@ -97,6 +108,14 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   if (spec.scenario.probe_packets != 1 && spec.backend != BackendId::kPacket)
     throw ExperimentError("experiment '" + spec.name +
                           "': --probes is a packet-backend knob");
+  if (spec.wire_scale != 0.02 && spec.backend != BackendId::kWire)
+    throw ExperimentError("experiment '" + spec.name +
+                          "': --wire-scale is a wire-backend knob");
+  if (spec.backend == BackendId::kWire &&
+      (spec.wire_scale <= 0.0 || spec.wire_scale > 1.0))
+    throw ExperimentError("experiment '" + spec.name +
+                          "': --wire-scale is a timing compression factor "
+                          "in (0, 1]");
   const TrafficSpec& traffic = spec.scenario.traffic;
   if (traffic.arrival != TrafficSpec::Arrival::kNone &&
       spec.backend != BackendId::kPacket)
@@ -253,13 +272,10 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
       spec.name = value;
     } else if (flag == "--backend") {
       const auto id = parse_backend_id(value);
-      if (!id) {
-        std::string known;
-        for (BackendId b : kAllBackendIds)
-          known += (known.empty() ? "" : " ") + std::string(backend_name(b));
+      if (!id)
         throw ExperimentError("flag --backend: unknown backend '" +
-                              std::string(value) + "' (known: " + known + ")");
-      }
+                              std::string(value) +
+                              "' (known: " + backend_names() + ")");
       spec.backend = *id;
     } else if (flag == "--metric") {
       const auto id = parse_metric_id(value);
@@ -283,6 +299,8 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
       spec.scenario.seed = parse_uint(flag, value);
     } else if (flag == "--threads") {
       spec.threads = static_cast<unsigned>(parse_uint(flag, value));
+    } else if (flag == "--wire-scale") {
+      spec.wire_scale = parse_double(flag, value);
     } else if (flag == "--field") {
       const std::size_t x = value.find('x');
       if (x == std::string_view::npos)
@@ -476,12 +494,17 @@ ExperimentSpec parse_experiment_spec(const std::vector<std::string>& args,
 std::string experiment_flags_help() {
   return
       "  --name=S              experiment name (labels the output)\n"
-      "  --backend=B           oracle|packet: analytic oracle sweeps (the\n"
-      "                        default; Figs. 6-9 reference) vs. per-run\n"
+      "  --backend=B           oracle|packet|wire: analytic oracle sweeps\n"
+      "                        (the default; Figs. 6-9 reference), per-run\n"
       "                        discrete-event HELLO/TC simulation measured\n"
-      "                        from converged protocol state, with\n"
-      "                        control-plane cost (messages, bytes,\n"
-      "                        duplicate drops, convergence time)\n"
+      "                        from converged protocol state (with\n"
+      "                        control-plane cost: messages, bytes,\n"
+      "                        duplicate drops, convergence time), or real\n"
+      "                        multi-process runs over the software switch,\n"
+      "                        digest-verified against an in-process twin\n"
+      "  --wire-scale=F        wire backend: timing compression factor in\n"
+      "                        (0, 1] applied to both the daemons and the\n"
+      "                        comparison simulator (default 0.02)\n"
       "  --metric=NAME         bandwidth|delay|jitter|loss|energy|buffers\n"
       "  --selectors=A,B,...   protocols, column order (see --list-selectors)\n"
       "  --densities=D1,D2,... mean-degree sweep points\n"

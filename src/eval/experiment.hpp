@@ -26,16 +26,39 @@ namespace qolsr {
 ///    per-node knowledge — plus the control-plane cost block (message and
 ///    byte counts, duplicate suppression, measured convergence time) the
 ///    oracle cannot produce.
-enum class BackendId { kOracle, kPacket };
+///  * kWire — the multi-process path: per run and protocol, the wire
+///    harness (net/wire_harness.hpp) spawns one qolsr_node daemon per node
+///    plus the software switch, converges the protocol over real Unix
+///    sockets and wall-clock timers, and then *verifies* every daemon's
+///    converged digest against an in-process Simulator twin of the same
+///    topology, seed and timing — a per-run cross-backend equivalence
+///    assertion (mismatch throws), with set sizes and measured wall-clock
+///    convergence taken from the daemons' status reports.
+enum class BackendId { kOracle, kPacket, kWire };
 
-inline constexpr BackendId kAllBackendIds[] = {BackendId::kOracle,
-                                               BackendId::kPacket};
+/// The one table every backend consumer shares (the kSweepAxes idiom):
+/// CLI parsing, the unknown-backend error text and emitted names all
+/// derive from it, so adding a backend is one row here plus its
+/// EvalBackend implementation (eval/backend.cpp).
+struct BackendInfo {
+  BackendId id;
+  const char* name;
+};
+inline constexpr BackendInfo kBackends[] = {
+    {BackendId::kOracle, "oracle"},
+    {BackendId::kPacket, "packet"},
+    {BackendId::kWire, "wire"},
+};
 
-/// Canonical CLI/JSON name ("oracle", "packet").
+/// Canonical CLI/JSON name ("oracle", "packet", "wire"), from kBackends.
 std::string_view backend_name(BackendId id);
 
 /// Inverse of backend_name; nullopt for unknown names.
 std::optional<BackendId> parse_backend_id(std::string_view name);
+
+/// Pipe-separated list of the valid backend names (for error messages and
+/// help text), generated from kBackends.
+std::string backend_names();
 
 /// Any failure of the experiment engine — unknown metric or selector name,
 /// malformed CLI flag, degenerate deployment — surfaces as this one type
@@ -64,8 +87,16 @@ struct ExperimentSpec {
   /// scenario's densities default to empty — set them or use figure_spec).
   Scenario scenario;
   /// Worker threads for run_sweep; 0 = hardware_concurrency. Benches and
-  /// CI set 1 for deterministic timing.
+  /// CI set 1 for deterministic timing. The wire backend always runs its
+  /// process fleets sequentially (each run is a fleet of real processes).
   unsigned threads = 0;
+  /// Wire backend only (--wire-scale): uniform compression factor applied
+  /// to ProtocolTiming for the daemons' wall-clock timers AND the
+  /// comparison Simulator (the same scaled struct feeds both sides, so the
+  /// digest equivalence holds by construction). 0.02 turns RFC 3626's
+  /// seconds into wall-clock milliseconds; raise it on loaded machines
+  /// where scheduling jitter could outrun the scaled soft-state holds.
+  double wire_scale = 0.02;
   // ----- output options (consumed by the sinks / CLI, not by the run) ----
   std::string format = "table";  ///< "table", "csv" or "json"
   std::string output_path;       ///< empty = stdout
@@ -96,7 +127,8 @@ ExperimentResult run_experiment(
 /// on unknown flags or unparsable values. Flags:
 ///
 ///   --name=S              experiment name (labels the output)
-///   --backend=B           oracle|packet execution engine (see BackendId)
+///   --backend=B           oracle|packet|wire execution engine (BackendId)
+///   --wire-scale=F        wire backend timing compression (default 0.02)
 ///   --metric=NAME         bandwidth|delay|jitter|loss|energy|buffers
 ///   --selectors=A,B,...   SelectorRegistry names, column order
 ///   --densities=D1,D2,... mean-degree sweep points

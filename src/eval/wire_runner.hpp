@@ -1,0 +1,108 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "eval/backend.hpp"
+#include "eval/runner.hpp"
+#include "net/wire_harness.hpp"
+#include "sim/simulator.hpp"
+
+namespace qolsr {
+
+namespace eval_detail {
+
+/// One wire-backend run: sample the same deployment the oracle and packet
+/// backends would at this (density, run) — identical RNG stream — then per
+/// protocol (a) converge a fleet of real qolsr_node processes over the
+/// software switch via the wire harness and (b) converge an in-process
+/// Simulator twin on the same topology, seed and scaled timing, and assert
+/// the two agree byte-for-byte on every node's converged digest. A
+/// mismatch is not a data point — it is a correctness failure of the
+/// transport (or of the determinism argument), so it throws.
+///
+/// Measured figures: set sizes straight from the daemons' status frames,
+/// and the wire's own wall-clock convergence time (the latest local
+/// mutation any daemon reported — real elapsed seconds, not simulated
+/// time, so it scales with `wire_scale`).
+template <Metric M>
+void execute_wire_run(const ExperimentSpec& spec, double density,
+                      std::uint64_t run_seed,
+                      const ResolvedProtocols& protocols, DensityStats& stats,
+                      EvalWorkspace& ws) {
+  util::Rng rng(run_seed);
+  const SampledRun run = sample_run<M>(spec.scenario, density, rng, ws);
+  const std::size_t n = run.graph.node_count();
+  stats.node_count.add(static_cast<double>(n));
+
+  for (std::size_t si = 0; si < protocols.ans.size(); ++si) {
+    net::WireRunConfig wire;
+    wire.protocol = spec.selectors[si];
+    wire.metric = spec.metric;
+    wire.seed = run_seed;
+    wire.timing = ProtocolTiming{}.scaled(spec.wire_scale);
+    const net::WireRunResult result = net::run_wire_network(run.graph, wire);
+
+    // The in-process twin: same topology, same seed, same (scaled) timing
+    // struct — the converged state it folds is the reference the real
+    // processes must reproduce exactly.
+    const OlsrNode::RouteFn no_routes = [](const Graph&, NodeId, NodeId) {
+      return kInvalidNode;
+    };
+    SimConfig sim_config;
+    static_cast<ProtocolTiming&>(sim_config.node) = wire.timing;
+    sim_config.seed = run_seed;
+    Simulator sim(run.graph, *protocols.flooding[si], *protocols.ans[si],
+                  no_routes, sim_config);
+    const ConvergenceReport report = sim.run_to_convergence();
+
+    for (NodeId id = 0; id < n; ++id) {
+      const std::uint64_t expected = sim.node(id).converged_digest();
+      if (result.reports[id].digest != expected)
+        throw ExperimentError(
+            "wire backend: converged-digest mismatch at node " +
+            std::to_string(id) + " (protocol '" + spec.selectors[si] +
+            "', seed " + std::to_string(run_seed) + "): wire " +
+            std::to_string(result.reports[id].digest) + " vs simulator " +
+            std::to_string(expected) +
+            " - the processes did not converge to the simulator's state");
+    }
+
+    ProtocolStats& ps = stats.protocols[si];
+    double total_ans = 0.0;
+    double settled_at = 0.0;
+    for (NodeId id = 0; id < n; ++id) {
+      total_ans += static_cast<double>(result.reports[id].ans_size);
+      settled_at = std::max(settled_at, result.reports[id].last_mutation);
+    }
+    ps.set_size.add(n > 0 ? total_ans / static_cast<double>(n) : 0.0);
+    ps.control.convergence_time.add(settled_at);
+    if (!report.converged) ++ps.control.unconverged;
+  }
+}
+
+}  // namespace eval_detail
+
+/// The multi-process counterpart of run_packet_sweep: the same sweep
+/// scaffold and per-run seed derivation, but every (run, protocol)
+/// converges a fleet of real OS processes and is digest-verified against
+/// an in-process Simulator twin. Always single-threaded — each run already
+/// fans out into node_count + 1 processes, and parallel fleets would
+/// contend for the CPU the daemons' wall-clock timing margins depend on.
+template <Metric M>
+std::vector<DensityStats> run_wire_sweep(const ExperimentSpec& spec,
+                                         const ResolvedProtocols& protocols) {
+  return eval_detail::sweep_harness<EvalWorkspace>(
+      spec.scenario, protocols.ans, /*threads=*/1,
+      [&spec, &protocols](const Scenario&, double density,
+                          std::size_t /*run_index*/, std::uint64_t run_seed,
+                          const std::vector<const AnsSelector*>& /*sel*/,
+                          DensityStats& stats, EvalWorkspace& ws) {
+        eval_detail::execute_wire_run<M>(spec, density, run_seed, protocols,
+                                         stats, ws);
+      });
+}
+
+}  // namespace qolsr

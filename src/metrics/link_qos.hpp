@@ -1,5 +1,10 @@
 #pragma once
 
+#include <bit>
+#include <cstdint>
+
+#include "util/digest.hpp"
+
 namespace qolsr {
 
 /// QoS annotations carried by every (bidirectional) link.
@@ -19,5 +24,19 @@ struct LinkQos {
 
   friend bool operator==(const LinkQos&, const LinkQos&) = default;
 };
+
+/// Folds a QoS tuple into a running digest by its exact IEEE-754 bit
+/// patterns. The wire codec serializes doubles via the same bit_cast
+/// (proto/wire_endian.hpp), so a QoS value that crossed a real socket
+/// folds identically to the in-process original — bit-exact equality,
+/// which the cross-backend converged-digest comparison depends on.
+inline std::uint64_t digest_qos(std::uint64_t h, const LinkQos& q) {
+  h = util::digest_mix(h, std::bit_cast<std::uint64_t>(q.bandwidth));
+  h = util::digest_mix(h, std::bit_cast<std::uint64_t>(q.delay));
+  h = util::digest_mix(h, std::bit_cast<std::uint64_t>(q.jitter));
+  h = util::digest_mix(h, std::bit_cast<std::uint64_t>(q.loss_cost));
+  h = util::digest_mix(h, std::bit_cast<std::uint64_t>(q.energy));
+  return util::digest_mix(h, std::bit_cast<std::uint64_t>(q.buffers));
+}
 
 }  // namespace qolsr

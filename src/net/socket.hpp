@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qolsr::net {
+
+/// RAII file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Unix-domain SOCK_SEQPACKET helpers. SEQPACKET gives the wire transport
+/// datagram message boundaries (one sendmsg = one frame, like UDP) *with*
+/// connection-oriented reliability and connection teardown detection —
+/// the right local stand-in for the UDP deployment target, where the
+/// framing layer (net/wire_format) is already self-describing.
+Fd listen_unix(const std::string& path, int backlog);
+Fd accept_unix(const Fd& listener);
+/// Connects, retrying while the switch is still coming up (ENOENT /
+/// ECONNREFUSED), up to `timeout_seconds`. Invalid Fd on timeout.
+Fd connect_unix(const std::string& path, double timeout_seconds);
+
+/// A connected SOCK_SEQPACKET pair — the loopback harness for transport
+/// tests that need a real kernel socket without a switch process.
+std::pair<Fd, Fd> seqpacket_pair();
+
+void set_nonblocking(const Fd& fd);
+
+/// Sends one datagram (blocking, EINTR-retried). False on a dead peer.
+bool send_datagram(const Fd& fd, const std::vector<std::byte>& bytes);
+
+/// Receives one datagram (blocking, EINTR-retried). nullopt on EOF / dead
+/// peer; a datagram larger than the internal cap is an error (nullopt) —
+/// frames are bounded by the u16 length prefix plus the fixed header.
+std::optional<std::vector<std::byte>> recv_datagram(const Fd& fd);
+
+/// Nonblocking receive outcome.
+enum class RecvStatus { kOk, kWouldBlock, kClosed };
+
+/// Nonblocking receive of one datagram into `out` (only written on kOk).
+RecvStatus try_recv_datagram(const Fd& fd, std::vector<std::byte>& out);
+
+}  // namespace qolsr::net

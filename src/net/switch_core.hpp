@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/node_id.hpp"
+#include "net/wire_format.hpp"
+#include "util/rng.hpp"
+
+namespace qolsr::net {
+
+/// The software switch's forwarding brain, separated from its sockets so
+/// the routing rules are unit-testable with plain frames (the vde2 shape:
+/// the switch engine knows ports and hub/steering rules; the process
+/// wrapper owns fds and the poll loop).
+///
+/// Ports are small dense indices handed out by add_port (the process
+/// wrapper maps fd ⇄ port). A plug becomes addressable when its first
+/// kKindRegister frame names its id. Packet frames are *radio-scoped*: a
+/// broadcast fans out only to ports adjacent to the sender in the uploaded
+/// topology (the switch plays the role of the shared ether with radio
+/// range), and a unicast to a non-adjacent destination vanishes exactly
+/// like the Simulator's ideal MAC drops out-of-range sends. Control
+/// frames are pure steering — the harness↔daemon RPC channel — and ignore
+/// adjacency.
+///
+/// Optional per-port impairments reuse FaultPlan semantics: a seeded
+/// Bernoulli loss gate per forwarded copy plus a fixed extra delay,
+/// applied to frames *from* the impaired plug. The loss stream is drawn
+/// per source port in registration order, so a given (seed, traffic)
+/// sequence drops the same copies on every run — determinism the switch
+/// tests pin.
+class SwitchCore {
+ public:
+  /// One routed output copy: deliver `frame` (re-encoded by the caller) to
+  /// `port` after `delay` seconds (0 for unimpaired sources).
+  struct Delivery {
+    std::size_t port = 0;
+    double delay = 0.0;
+  };
+
+  /// Registers a new (not yet addressable) port; returns its index.
+  std::size_t add_port();
+
+  /// Unplugs a port: its id mapping, adjacency role and impairment state
+  /// drop; the index is never reused.
+  void remove_port(std::size_t port);
+
+  bool port_live(std::size_t port) const;
+  std::size_t live_ports() const;
+
+  /// Adjacency upload (ControlOp::kLink): nodes a and b are in radio range.
+  void set_link(NodeId a, NodeId b);
+
+  /// Impairment upload (ControlOp::kImpair) for frames from plug `id`.
+  void set_impairment(const Impairment& impairment);
+
+  /// Routes one inbound frame from `port`, appending zero or more
+  /// deliveries to `out` (not cleared — callers batch). Register frames
+  /// bind the port's id and produce no output. Frames addressed to
+  /// kSwitchDest are consumed here (adjacency/impairment/shutdown ops).
+  /// Returns false when the frame asked the switch itself to shut down.
+  bool route(std::size_t port, const Frame& frame,
+             std::vector<Delivery>& out);
+
+  /// The port a node id is plugged into (SIZE_MAX when unknown).
+  std::size_t port_of(NodeId id) const;
+  /// The id registered on a port (kInvalidNode before registration).
+  NodeId id_of(std::size_t port) const;
+
+ private:
+  struct Port {
+    bool live = false;
+    NodeId id = kInvalidNode;
+    // Impairment of frames *from* this plug (inert by default).
+    double loss = 0.0;
+    double delay = 0.0;
+    util::Rng loss_rng{1};
+  };
+
+  bool loses(std::size_t port);  ///< draws the source port's loss gate
+  void deliver_to(std::size_t src, std::size_t dst,
+                  std::vector<Delivery>& out);
+
+  std::vector<Port> ports_;
+  std::map<NodeId, std::size_t> port_by_id_;
+  std::set<std::pair<NodeId, NodeId>> links_;  ///< normalized (min,max)
+};
+
+}  // namespace qolsr::net

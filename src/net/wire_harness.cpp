@@ -1,0 +1,307 @@
+#include "net/wire_harness.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "net/socket.hpp"
+
+namespace qolsr::net {
+
+namespace {
+
+double monotonic_now() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void sleep_seconds(double s) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(s);
+  ts.tv_nsec = static_cast<long>((s - static_cast<double>(ts.tv_sec)) * 1e9);
+  nanosleep(&ts, nullptr);
+}
+
+pid_t spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv)
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    _exit(127);  // exec failed; the parent sees a fast nonzero exit
+  }
+  return pid;
+}
+
+/// Owns the child process tree and the temp socket dir; the destructor
+/// guarantees no child outlives a throw anywhere in the run.
+class ProcessTree {
+ public:
+  explicit ProcessTree(std::string dir) : dir_(std::move(dir)) {}
+
+  ~ProcessTree() {
+    for (const pid_t pid : children_) ::kill(pid, SIGKILL);
+    for (const pid_t pid : children_) ::waitpid(pid, nullptr, 0);
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void track(pid_t pid) {
+    if (pid > 0) children_.push_back(pid);
+  }
+
+  /// Orderly teardown: give every child `budget` seconds to exit after the
+  /// shutdown frames, then escalate to SIGKILL (handled by the dtor).
+  void reap(double budget) {
+    const double deadline = monotonic_now() + budget;
+    std::vector<pid_t> pending = children_;
+    while (!pending.empty() && monotonic_now() < deadline) {
+      std::vector<pid_t> still;
+      for (const pid_t pid : pending)
+        if (::waitpid(pid, nullptr, WNOHANG) == 0) still.push_back(pid);
+      pending = std::move(still);
+      if (!pending.empty()) sleep_seconds(0.01);
+    }
+    if (pending.empty()) children_.clear();
+  }
+
+ private:
+  std::string dir_;
+  std::vector<pid_t> children_;
+};
+
+/// The harness's switch plug: control frames out, steered replies in.
+class Controller {
+ public:
+  explicit Controller(Fd sock) : sock_(std::move(sock)) {
+    set_nonblocking(sock_);
+    Frame reg;
+    reg.kind = kKindRegister;
+    reg.sender = kControllerId;
+    reg.dest = kSwitchDest;
+    require(send_datagram(sock_, encode_frame(reg)), "register controller");
+  }
+
+  void send_to(NodeId dest, std::vector<std::byte> payload) {
+    Frame f;
+    f.kind = kKindControl;
+    f.sender = kControllerId;
+    f.dest = dest;
+    f.payload = std::move(payload);
+    require(send_datagram(sock_, encode_frame(f)), "send control frame");
+  }
+
+  /// Next well-formed control frame before `deadline` (monotonic seconds);
+  /// nullopt on deadline.
+  std::optional<Frame> recv_until(double deadline) {
+    std::vector<std::byte> datagram;
+    for (;;) {
+      const RecvStatus st = try_recv_datagram(sock_, datagram);
+      if (st == RecvStatus::kOk) {
+        if (auto frame = decode_frame(datagram);
+            frame.has_value() && frame->kind == kKindControl)
+          return frame;
+        continue;
+      }
+      if (st == RecvStatus::kClosed)
+        throw std::runtime_error("wire harness: switch closed the plug");
+      const double wait = deadline - monotonic_now();
+      if (wait <= 0.0) return std::nullopt;
+      pollfd pfd{sock_.get(), POLLIN, 0};
+      ::poll(&pfd, 1, static_cast<int>(wait * 1000.0) + 1);
+    }
+  }
+
+  /// Drains anything already queued (stale replies from a prior round).
+  void drain() {
+    std::vector<std::byte> datagram;
+    while (try_recv_datagram(sock_, datagram) == RecvStatus::kOk) {
+    }
+  }
+
+  static void require(bool ok, const char* what) {
+    if (!ok) throw std::runtime_error(std::string("wire harness: ") + what +
+                                      " failed");
+  }
+
+ private:
+  Fd sock_;
+};
+
+NodeSetup setup_for(const Graph& graph, NodeId id,
+                    const WireRunConfig& config) {
+  NodeSetup s;
+  s.id = id;
+  s.node_count = static_cast<std::uint32_t>(graph.node_count());
+  s.seed = config.seed;
+  s.timing = config.timing;
+  s.metric = static_cast<std::uint8_t>(config.metric);
+  s.protocol = config.protocol;
+  for (const Edge& e : graph.neighbors(id))
+    s.neighbors.push_back({e.to, e.qos});
+  return s;
+}
+
+}  // namespace
+
+std::string find_sibling_binary(const char* env_var, const char* name) {
+  if (const char* override_path = std::getenv(env_var);
+      override_path != nullptr && *override_path != '\0')
+    return override_path;
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return (self.parent_path() / name).string();
+  return name;  // last resort: rely on PATH-less execv failing loudly
+}
+
+WireRunResult run_wire_network(const Graph& graph,
+                               const WireRunConfig& config) {
+  const std::size_t n = graph.node_count();
+  if (n == 0) return {};
+  const double deadline = monotonic_now() + config.timeout_seconds;
+  const auto time_left = [&](const char* stage) {
+    const double left = deadline - monotonic_now();
+    if (left <= 0.0)
+      throw std::runtime_error(
+          std::string("wire harness: timeout during ") + stage);
+    return left;
+  };
+
+  const std::string switch_bin =
+      config.switch_binary.empty()
+          ? find_sibling_binary("QOLSR_SWITCH_BIN", "qolsr_switch")
+          : config.switch_binary;
+  const std::string node_bin =
+      config.node_binary.empty()
+          ? find_sibling_binary("QOLSR_NODE_BIN", "qolsr_node")
+          : config.node_binary;
+
+  char dir_template[] = "/tmp/qolsr_wire_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr)
+    throw std::runtime_error("wire harness: mkdtemp failed");
+  ProcessTree tree(dir_template);
+  const std::string sock_path = std::string(dir_template) + "/switch.sock";
+
+  tree.track(spawn({switch_bin, sock_path}));
+
+  Fd plug = connect_unix(sock_path, time_left("switch connect"));
+  if (!plug.valid())
+    throw std::runtime_error("wire harness: cannot reach the switch at " +
+                             sock_path);
+  Controller controller(std::move(plug));
+
+  // Radio topology upload: the switch becomes the shared ether.
+  for (NodeId u = 0; u < n; ++u)
+    for (const Edge& e : graph.neighbors(u))
+      if (u < e.to) controller.send_to(kSwitchDest, encode_link(u, e.to));
+
+  for (NodeId id = 0; id < n; ++id)
+    tree.track(spawn({node_bin, sock_path, std::to_string(id)}));
+
+  // Configure with retry: a daemon is only addressable once its Register
+  // frame reached the switch, and we cannot observe that directly — so
+  // re-send Configure until the daemon's Ready proves the path works.
+  std::vector<bool> ready(n, false);
+  std::size_t ready_count = 0;
+  double next_configure = 0.0;
+  while (ready_count < n) {
+    const double now = monotonic_now();
+    if (now >= next_configure) {
+      for (NodeId id = 0; id < n; ++id)
+        if (!ready[id])
+          controller.send_to(id,
+                             encode_configure(setup_for(graph, id, config)));
+      next_configure = now + 0.05;
+    }
+    time_left("configure handshake");
+    const auto frame = controller.recv_until(
+        std::min(deadline, next_configure));
+    if (!frame.has_value()) continue;
+    if (peek_control_op(frame->payload) == ControlOp::kReady &&
+        frame->sender < n && !ready[frame->sender]) {
+      ready[frame->sender] = true;
+      ++ready_count;
+    }
+  }
+
+  for (NodeId id = 0; id < n; ++id)
+    controller.send_to(id, encode_control(ControlOp::kStart));
+
+  // Quiescence via the control socket: a status round asks every daemon
+  // for its mutation count; when a full round matches the previous round
+  // and the two rounds are at least a dwell apart, no daemon mutated
+  // anywhere inside the window — the event-driven convergence criterion
+  // (MutationClock) applied across process boundaries.
+  const double dwell = config.timing.convergence_dwell();
+  const double poll_gap = std::max(dwell / 3.0, 0.02);
+  std::vector<std::uint64_t> prev_counts;
+  double prev_round_at = 0.0;
+  std::vector<StatusReport> reports(n);
+  for (;;) {
+    controller.drain();
+    for (NodeId id = 0; id < n; ++id)
+      controller.send_to(id, encode_control(ControlOp::kStatusReq));
+    const double round_at = monotonic_now();
+    std::vector<bool> got(n, false);
+    std::size_t got_count = 0;
+    while (got_count < n) {
+      time_left("status round");
+      const auto frame = controller.recv_until(deadline);
+      if (!frame.has_value()) continue;
+      if (peek_control_op(frame->payload) != ControlOp::kStatus) continue;
+      const auto report = decode_status(frame->payload);
+      if (!report.has_value() || frame->sender >= n) continue;
+      reports[frame->sender] = *report;
+      if (!got[frame->sender]) {
+        got[frame->sender] = true;
+        ++got_count;
+      }
+    }
+    std::vector<std::uint64_t> counts(n);
+    for (std::size_t i = 0; i < n; ++i) counts[i] = reports[i].mutation_count;
+    if (std::getenv("QOLSR_WIRE_DEBUG") != nullptr) {
+      std::string line = "round at " + std::to_string(round_at) + ":";
+      for (const std::uint64_t c : counts) line += " " + std::to_string(c);
+      ::fprintf(stderr, "%s\n", line.c_str());
+    }
+    // Anchor at the round where the counts FIRST took their current value:
+    // convergence is "no daemon mutated for a full dwell", i.e. the counts
+    // held steady across the whole window, not merely across one poll gap.
+    if (prev_counts.empty() || counts != prev_counts) {
+      prev_counts = std::move(counts);
+      prev_round_at = round_at;
+    } else if (round_at - prev_round_at >= dwell) {
+      break;
+    }
+    time_left("quiescence wait");
+    sleep_seconds(std::min(poll_gap, std::max(deadline - monotonic_now(),
+                                              0.001)));
+  }
+
+  for (NodeId id = 0; id < n; ++id)
+    controller.send_to(id, encode_control(ControlOp::kShutdown));
+  controller.send_to(kSwitchDest, encode_control(ControlOp::kShutdown));
+  tree.reap(std::max(1.0, deadline - monotonic_now()));
+
+  WireRunResult result;
+  result.reports = std::move(reports);
+  return result;
+}
+
+}  // namespace qolsr::net

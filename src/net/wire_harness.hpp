@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "metrics/metric_id.hpp"
+#include "net/wire_format.hpp"
+#include "proto/protocol_timing.hpp"
+
+namespace qolsr::net {
+
+/// One wire run: which deployment to stand up as real processes, which
+/// protocol/metric every daemon runs, and how patient to be.
+struct WireRunConfig {
+  std::string protocol = "olsr_mpr";  ///< SelectorRegistry name
+  MetricId metric = MetricId::kBandwidth;
+  std::uint64_t seed = 1;
+  /// The one timing struct (satellite: shared with SimConfig). Wire runs
+  /// default to heavily compressed intervals — the converged fixpoint is
+  /// timing-independent, so scaling buys wall-clock speed, not drift; the
+  /// caller passes the *same* struct to the comparison Simulator.
+  ProtocolTiming timing = ProtocolTiming{}.scaled(0.02);
+  /// Hard wall-clock budget for the whole run (spawn → converged digests).
+  /// Expired budget kills every child and throws.
+  double timeout_seconds = 60.0;
+  /// Override the daemon/switch binary paths (tests point them at the
+  /// build tree; empty = `qolsr_node`/`qolsr_switch` next to /proc/self/exe,
+  /// overridable via QOLSR_NODE_BIN / QOLSR_SWITCH_BIN).
+  std::string node_binary;
+  std::string switch_binary;
+};
+
+/// What the N processes converged to, per node id: the digest the
+/// equivalence assertion compares byte-for-byte against
+/// Simulator-side OlsrNode::converged_digest(), plus the set sizes the
+/// eval backend reports.
+struct WireRunResult {
+  std::vector<StatusReport> reports;  ///< index == node id
+};
+
+/// Spawns the software switch plus one qolsr_node daemon per node of
+/// `graph` (Unix SOCK_SEQPACKET under a private temp dir), uploads the
+/// adjacency, configures and starts every daemon, waits for quiescence via
+/// the control socket (every daemon's mutation count stable across a
+/// dwell-spaced poll pair), collects each daemon's converged digest, and
+/// tears the whole process tree down. Throws std::runtime_error on
+/// timeout, a dead child, or a spawn failure — never leaks children.
+WireRunResult run_wire_network(const Graph& graph, const WireRunConfig& config);
+
+/// The bundled-binary discovery used when WireRunConfig paths are empty:
+/// $QOLSR_NODE_BIN / $QOLSR_SWITCH_BIN, else `name` next to the running
+/// executable.
+std::string find_sibling_binary(const char* env_var, const char* name);
+
+}  // namespace qolsr::net

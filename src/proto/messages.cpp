@@ -1,80 +1,19 @@
 #include "proto/messages.hpp"
 
-#include <bit>
 #include <cmath>
-#include <cstring>
+
+#include "proto/wire_endian.hpp"
 
 namespace qolsr {
 
 namespace {
 
-/// Little-endian byte writer.
-class Writer {
- public:
-  explicit Writer(std::vector<std::byte>& out) : out_(out) {}
-
-  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
-  void u16(std::uint16_t v) {
-    u8(static_cast<std::uint8_t>(v));
-    u8(static_cast<std::uint8_t>(v >> 8));
-  }
-  void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v));
-    u16(static_cast<std::uint16_t>(v >> 16));
-  }
-  void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v));
-    u32(static_cast<std::uint32_t>(v >> 32));
-  }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-
- private:
-  std::vector<std::byte>& out_;
-};
-
-/// Bounds-checked little-endian reader.
-class Reader {
- public:
-  explicit Reader(const std::vector<std::byte>& in) : in_(in) {}
-
-  bool u8(std::uint8_t& v) {
-    if (pos_ >= in_.size()) return false;
-    v = static_cast<std::uint8_t>(in_[pos_++]);
-    return true;
-  }
-  bool u16(std::uint16_t& v) {
-    std::uint8_t lo = 0, hi = 0;
-    if (!u8(lo) || !u8(hi)) return false;
-    v = static_cast<std::uint16_t>(lo | (hi << 8));
-    return true;
-  }
-  bool u32(std::uint32_t& v) {
-    std::uint16_t lo = 0, hi = 0;
-    if (!u16(lo) || !u16(hi)) return false;
-    v = static_cast<std::uint32_t>(lo) |
-        (static_cast<std::uint32_t>(hi) << 16);
-    return true;
-  }
-  bool u64(std::uint64_t& v) {
-    std::uint32_t lo = 0, hi = 0;
-    if (!u32(lo) || !u32(hi)) return false;
-    v = static_cast<std::uint64_t>(lo) |
-        (static_cast<std::uint64_t>(hi) << 32);
-    return true;
-  }
-  bool f64(double& v) {
-    std::uint64_t bits = 0;
-    if (!u64(bits)) return false;
-    v = std::bit_cast<double>(bits);
-    return true;
-  }
-  bool done() const { return pos_ == in_.size(); }
-  std::size_t remaining() const { return in_.size() - pos_; }
-
- private:
-  const std::vector<std::byte>& in_;
-  std::size_t pos_ = 0;
-};
+// The codec is pinned little-endian via the shared wire::Writer/Reader
+// helpers (proto/wire_endian.hpp) — the same pair the net/ datagram
+// framing uses, so a socket wire run exchanges exactly the bytes the
+// in-process simulation serializes.
+using wire::Reader;
+using wire::Writer;
 
 void write_header(Writer& w, const PacketHeader& h) {
   w.u8(static_cast<std::uint8_t>(h.type));

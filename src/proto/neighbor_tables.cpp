@@ -67,6 +67,22 @@ std::uint64_t NeighborTables::digest(std::uint64_t h) const {
   return h;
 }
 
+std::uint64_t NeighborTables::converged_digest(std::uint64_t h) const {
+  for (const auto& [id, entry] : links_) {  // ordered map: stable fold order
+    h = util::digest_mix(h, id);
+    h = util::digest_mix(h, (entry.sym_until >= 0.0 ? 2u : 0u) |
+                                (entry.selected_us_mpr ? 1u : 0u));
+    h = digest_qos(h, entry.qos);
+    h = util::digest_mix(h, entry.advertised.size());
+    for (const LinkAdvert& a : entry.advertised) {
+      h = util::digest_mix(h, a.neighbor);
+      h = util::digest_mix(h, static_cast<std::uint64_t>(a.status));
+      h = digest_qos(h, a.qos);
+    }
+  }
+  return h;
+}
+
 std::vector<NodeId> NeighborTables::symmetric_neighbors() const {
   std::vector<NodeId> result;
   for (const auto& [id, entry] : links_)

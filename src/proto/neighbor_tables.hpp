@@ -50,6 +50,16 @@ class NeighborTables {
   /// (see Simulator::run_to_convergence).
   std::uint64_t digest(std::uint64_t h) const;
 
+  /// The cross-process comparison fold: everything `digest` covers *plus*
+  /// the measured link QoS (exact IEEE bits) and each neighbor's
+  /// advertised link table — but still no timers, sequence numbers or any
+  /// other history of how the state was reached. The converged link state
+  /// on a loss-free medium is a pure function of (topology, selectors),
+  /// so a wall-clock wire daemon and the discrete-event Simulator fold to
+  /// the *same* value here even though their schedules (and hold-time
+  /// deadlines) differ — the equality the wire backend asserts.
+  std::uint64_t converged_digest(std::uint64_t h) const;
+
   /// Symmetric neighbors, ascending id.
   std::vector<NodeId> symmetric_neighbors() const;
 

@@ -123,6 +123,19 @@ std::uint64_t TopologyBase::digest(std::uint64_t h) const {
   return h;
 }
 
+std::uint64_t TopologyBase::converged_digest(std::uint64_t h) const {
+  for (const auto& [originator, entry] : entries_) {  // ordered map: stable
+    h = util::digest_mix(h, originator);
+    h = util::digest_mix(h, entry.advertised.size());
+    for (const LinkAdvert& a : entry.advertised) {
+      h = util::digest_mix(h, a.neighbor);
+      h = util::digest_mix(h, static_cast<std::uint64_t>(a.status));
+      h = digest_qos(h, a.qos);
+    }
+  }
+  return h;
+}
+
 std::optional<std::uint16_t> TopologyBase::ansn_of(NodeId originator) const {
   auto it = entries_.find(originator);
   if (it == entries_.end()) return std::nullopt;

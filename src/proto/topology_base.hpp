@@ -107,6 +107,14 @@ class TopologyBase {
   /// convergence detector (see Simulator::run_to_convergence).
   std::uint64_t digest(std::uint64_t h) const;
 
+  /// The cross-process comparison fold: the advertised topology *with*
+  /// each advert's status and QoS bits — but still excluding ANSN and
+  /// expiry timestamps. ANSN is history (how many TC generations it took
+  /// to reach the fixpoint differs between a wall-clock wire run and the
+  /// event-driven Simulator); the converged advert content is not. See
+  /// NeighborTables::converged_digest for the equality this underwrites.
+  std::uint64_t converged_digest(std::uint64_t h) const;
+
  private:
   struct Entry {
     std::uint16_t ansn = 0;

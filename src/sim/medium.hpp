@@ -8,6 +8,7 @@
 #include "graph/node_id.hpp"
 #include "metrics/link_qos.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
 
 namespace qolsr {
 
@@ -23,16 +24,13 @@ inline SharedBytes make_shared_bytes(std::vector<std::byte> bytes) {
   return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
 }
 
-/// What a protocol node sees of the outside world: a clock, a scheduler,
-/// and an ideal MAC (paper §IV-A: "no interferences and no packet
-/// collisions"). Implemented by the Simulator; mocked in unit tests.
-class Medium {
+/// What a protocol node sees of the outside world: a clock + scheduler
+/// (the Scheduler seam — virtual time in the Simulator, wall-clock time in
+/// the wire daemon) and an ideal MAC (paper §IV-A: "no interferences and
+/// no packet collisions"). Implemented by the Simulator and by the net/
+/// wire transport; mocked in unit tests.
+class Medium : public Scheduler {
  public:
-  virtual ~Medium() = default;
-
-  virtual SimTime now() const = 0;
-  virtual void schedule_in(SimTime delay, std::function<void()> callback) = 0;
-
   /// Delivers `bytes` to every node within radio range of `from` after the
   /// propagation delay. Loss-free and collision-free; all deliveries share
   /// the one immutable buffer.

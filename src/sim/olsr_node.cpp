@@ -490,6 +490,18 @@ std::uint64_t OlsrNode::state_digest(std::uint64_t h) const {
   return topology_.digest(h);
 }
 
+std::uint64_t OlsrNode::converged_digest() const {
+  std::uint64_t h = util::kDigestSeed;
+  h = util::digest_mix(h, id_);
+  h = util::digest_mix(h, alive_ ? 1u : 0u);
+  for (NodeId n : flooding_mpr_) h = util::digest_mix(h, n);
+  h = util::digest_mix(h, flooding_mpr_.size());
+  for (NodeId n : ans_) h = util::digest_mix(h, n);
+  h = util::digest_mix(h, ans_.size());
+  h = tables_.converged_digest(h);
+  return topology_.converged_digest(h);
+}
+
 const Graph& OlsrNode::knowledge_graph() {
   // TC-advertised topology plus our own symmetric links. Deliberately NOT
   // the full 2-hop view: heterogeneous per-hop knowledge makes QoS

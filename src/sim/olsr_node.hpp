@@ -9,6 +9,7 @@
 #include "proto/duplicate_set.hpp"
 #include "proto/messages.hpp"
 #include "proto/neighbor_tables.hpp"
+#include "proto/protocol_timing.hpp"
 #include "proto/topology_base.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/adversary.hpp"
@@ -20,15 +21,10 @@
 
 namespace qolsr {
 
-/// Per-node protocol timing. Defaults follow RFC 3626 (HELLO every 2 s, TC
-/// every 5 s, validity ≈ 3 intervals); small deterministic jitter desyncs
-/// the nodes as the RFC prescribes.
-struct NodeConfig {
-  double hello_interval = 2.0;
-  double tc_interval = 5.0;
-  double jitter = 0.25;
-  double neighbor_hold = 6.0;
-  double topology_hold = 15.0;
+/// Per-node configuration: the shared ProtocolTiming constants (the one
+/// struct both the Simulator and the wire daemon consume — see
+/// proto/protocol_timing.hpp) plus the node-local TTL knobs.
+struct NodeConfig : ProtocolTiming {
   std::uint8_t tc_ttl = 64;
   std::uint8_t data_ttl = 64;
 };
@@ -132,6 +128,17 @@ class OlsrNode {
   /// ⇔ the node's converged-state snapshot did not change; the Simulator's
   /// convergence detector compares the fold over all nodes.
   std::uint64_t state_digest(std::uint64_t h) const;
+
+  /// Standalone digest of the node's *converged* protocol state for
+  /// cross-process comparison: selection results, link state with QoS
+  /// bits, neighbor advert tables, and the topology base with QoS — but
+  /// no timers, no ANSN, no sequence counters, no duplicate-set history.
+  /// On a loss-free medium the converged fixpoint is a pure function of
+  /// (topology, selectors), so a wire daemon on real sockets and real
+  /// timers folds to the same value as the in-process Simulator for the
+  /// same deployment — the byte-for-byte equality `--backend=wire`
+  /// asserts per node.
+  std::uint64_t converged_digest() const;
 
  private:
   void hello_tick();

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace qolsr {
+
+/// A clock plus deferred execution — the one timer interface both worlds
+/// implement, so protocol code that schedules ticks cannot tell (and must
+/// not care) which clock is driving it:
+///  - the discrete-event Simulator: `now()` is the event queue's virtual
+///    time and `schedule_in` enqueues a simulated-time event;
+///  - the wire daemon (src/net): `now()` is wall-clock seconds since the
+///    process started and `schedule_in` arms a real timer in its poll
+///    loop.
+/// Seconds are seconds in both cases; only their passage differs.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual SimTime now() const = 0;
+  virtual void schedule_in(SimTime delay, std::function<void()> callback) = 0;
+};
+
+}  // namespace qolsr

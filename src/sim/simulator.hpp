@@ -33,28 +33,23 @@ struct SimConfig {
   /// derived_convergence_step() remains for tests that want the old grid.
   double convergence_step = 0.0;
   /// How long the digest must stay unchanged to declare convergence. 0
-  /// derives `topology_hold + tc_interval + 2*jitter`: long enough that a
-  /// node which stopped advertising has its stale entries expire out of
-  /// every topology base (up to topology_hold after its last TC, noticed
-  /// at the holder's next TC tick) — anything still unchanged after that
-  /// window is genuinely quiescent.
+  /// derives ProtocolTiming::convergence_dwell() — the same window the
+  /// wire harness uses to declare a wall-clock run quiescent, so both
+  /// backends share one definition of "settled".
   double convergence_dwell = 0.0;
-  /// Hard stop for a network that never settles. 0 derives twice the old
-  /// fixed horizon, `2 * (3*tc_interval + 4*hello_interval)`.
+  /// Hard stop for a network that never settles. 0 derives
+  /// ProtocolTiming::max_horizon().
   double max_sim_time = 0.0;
 
   double derived_convergence_step() const {
     return convergence_step > 0.0 ? convergence_step : node.hello_interval;
   }
   double derived_convergence_dwell() const {
-    return convergence_dwell > 0.0
-               ? convergence_dwell
-               : node.topology_hold + node.tc_interval + 2.0 * node.jitter;
+    return convergence_dwell > 0.0 ? convergence_dwell
+                                   : node.convergence_dwell();
   }
   double derived_max_sim_time() const {
-    return max_sim_time > 0.0
-               ? max_sim_time
-               : 2.0 * (3.0 * node.tc_interval + 4.0 * node.hello_interval);
+    return max_sim_time > 0.0 ? max_sim_time : node.max_horizon();
   }
 };
 

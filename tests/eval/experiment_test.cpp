@@ -300,12 +300,30 @@ TEST(ParseExperimentSpec, BackendFlagSelectsTheEngine) {
   EXPECT_EQ(ExperimentSpec{}.backend, BackendId::kOracle);  // the default
   EXPECT_EQ(parse_experiment_spec({"--backend=packet"}).backend,
             BackendId::kPacket);
+  EXPECT_EQ(parse_experiment_spec({"--backend=wire"}).backend,
+            BackendId::kWire);
   // An explicit oracle round-trips back to the default engine.
   EXPECT_EQ(parse_experiment_spec({"--backend=packet", "--backend=oracle"})
                 .backend,
             BackendId::kOracle);
   EXPECT_EQ(backend_name(BackendId::kOracle), "oracle");
   EXPECT_EQ(backend_name(BackendId::kPacket), "packet");
+  EXPECT_EQ(backend_name(BackendId::kWire), "wire");
+  // One table drives names, parsing and the error text alike.
+  EXPECT_EQ(backend_names(), "oracle|packet|wire");
+}
+
+TEST(ParseExperimentSpec, UnknownBackendErrorNamesTheValidSet) {
+  try {
+    parse_experiment_spec({"--backend=ns3"});
+    FAIL() << "unknown backend accepted";
+  } catch (const ExperimentError& e) {
+    // The valid set in the message comes from the kBackends table, so a
+    // new backend extends this error without anyone remembering to.
+    EXPECT_NE(std::string(e.what()).find("oracle|packet|wire"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ParseExperimentSpec, RejectsUnknownFlagsAndBadValues) {

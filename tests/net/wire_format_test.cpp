@@ -1,0 +1,135 @@
+// Frame + control codec: round trips, the hardened decode contract
+// (magic/version/kind/length all verified before any payload is trusted),
+// and the golden layout of the frame header.
+#include <gtest/gtest.h>
+
+#include "net/wire_format.hpp"
+
+namespace qolsr::net {
+namespace {
+
+Frame sample_frame() {
+  Frame f;
+  f.kind = kKindPacket;
+  f.sender = 7;
+  f.dest = kBroadcastDest;
+  f.timestamp = 1.25;
+  f.payload = {std::byte{0xAA}, std::byte{0xBB}, std::byte{0xCC}};
+  return f;
+}
+
+TEST(WireFrame, RoundTrips) {
+  const Frame f = sample_frame();
+  const auto bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + f.payload.size());
+  const auto back = decode_frame(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+}
+
+TEST(WireFrame, HeaderLayoutIsPinned) {
+  Frame f;
+  f.kind = kKindControl;
+  f.sender = 0x01020304;
+  f.dest = 0x0A0B0C0D;
+  f.timestamp = 0.0;
+  const auto bytes = encode_frame(f);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  EXPECT_EQ(static_cast<unsigned>(bytes[0]), 0x51u);  // magic 'Q'
+  EXPECT_EQ(static_cast<unsigned>(bytes[1]), 1u);     // version
+  EXPECT_EQ(static_cast<unsigned>(bytes[2]), kKindControl);
+  EXPECT_EQ(static_cast<unsigned>(bytes[3]), 0x04u);  // sender, LE
+  EXPECT_EQ(static_cast<unsigned>(bytes[6]), 0x01u);
+  EXPECT_EQ(static_cast<unsigned>(bytes[7]), 0x0Du);  // dest, LE
+  EXPECT_EQ(static_cast<unsigned>(bytes[kFrameHeaderBytes - 2]), 0u);  // len
+  EXPECT_EQ(static_cast<unsigned>(bytes[kFrameHeaderBytes - 1]), 0u);
+}
+
+TEST(WireFrame, DecodeRejectsCorruption) {
+  const auto good = encode_frame(sample_frame());
+  EXPECT_TRUE(decode_frame(good).has_value());
+
+  auto bad_magic = good;
+  bad_magic[0] = std::byte{0x52};
+  EXPECT_FALSE(decode_frame(bad_magic).has_value());
+
+  auto bad_version = good;
+  bad_version[1] = std::byte{0x02};
+  EXPECT_FALSE(decode_frame(bad_version).has_value());
+
+  auto bad_kind = good;
+  bad_kind[2] = std::byte{0x7F};
+  EXPECT_FALSE(decode_frame(bad_kind).has_value());
+
+  // Truncated datagram: the length prefix promises more than arrived.
+  auto truncated = good;
+  truncated.pop_back();
+  EXPECT_FALSE(decode_frame(truncated).has_value());
+
+  // Trailing garbage: more arrived than the prefix accounts for.
+  auto padded = good;
+  padded.push_back(std::byte{0x00});
+  EXPECT_FALSE(decode_frame(padded).has_value());
+
+  EXPECT_FALSE(decode_frame(std::vector<std::byte>{}).has_value());
+}
+
+TEST(WireControl, ConfigureRoundTrips) {
+  NodeSetup s;
+  s.id = 3;
+  s.node_count = 8;
+  s.seed = 0xDEADBEEFCAFE1234ULL;
+  s.timing = ProtocolTiming{}.scaled(0.02);
+  s.tc_ttl = 32;
+  s.data_ttl = 16;
+  s.metric = 1;
+  s.protocol = "topology_filtering";
+  LinkQos qos;
+  qos.bandwidth = 3.5;
+  qos.delay = 0.125;
+  s.neighbors = {{1, qos}, {5, LinkQos{}}};
+
+  const auto back = decode_configure(encode_configure(s));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+  EXPECT_EQ(peek_control_op(encode_configure(s)), ControlOp::kConfigure);
+}
+
+TEST(WireControl, StatusAndKnobsRoundTrip) {
+  StatusReport r;
+  r.mutation_count = 123456789;
+  r.last_mutation = 2.5;
+  r.digest = 0xFEEDFACE12345678ULL;
+  r.flooding_size = 3;
+  r.ans_size = 5;
+  const auto status_back = decode_status(encode_status(r));
+  ASSERT_TRUE(status_back.has_value());
+  EXPECT_EQ(*status_back, r);
+
+  const auto link_back = decode_link(encode_link(2, 9));
+  ASSERT_TRUE(link_back.has_value());
+  EXPECT_EQ(link_back->first, 2u);
+  EXPECT_EQ(link_back->second, 9u);
+
+  Impairment imp;
+  imp.id = 4;
+  imp.loss = 0.25;
+  imp.delay = 0.01;
+  imp.seed = 77;
+  const auto imp_back = decode_impair(encode_impair(imp));
+  ASSERT_TRUE(imp_back.has_value());
+  EXPECT_EQ(*imp_back, imp);
+}
+
+TEST(WireControl, DecodersRejectTruncationAndWrongOp) {
+  auto conf = encode_configure(NodeSetup{});
+  conf.pop_back();
+  EXPECT_FALSE(decode_configure(conf).has_value());
+  // A status blob is not a configure blob, even if long enough.
+  EXPECT_FALSE(decode_configure(encode_status(StatusReport{})).has_value());
+  EXPECT_FALSE(decode_status(encode_control(ControlOp::kStart)).has_value());
+  EXPECT_FALSE(decode_link(encode_control(ControlOp::kLink)).has_value());
+}
+
+}  // namespace
+}  // namespace qolsr::net

@@ -1,0 +1,209 @@
+// Golden byte-dump pins for the wire codec (proto/messages +
+// proto/wire_endian): the serialized form of each packet type is spelled
+// out byte by byte, so the format is *defined* — little-endian, fixed
+// field order — rather than a host-endian accident. A cross-host wire run
+// (src/net) exchanges exactly these bytes; any codec change that reorders
+// or resizes a field fails here before it corrupts an interop run.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+#include "proto/wire_endian.hpp"
+
+namespace qolsr {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<unsigned> values) {
+  std::vector<std::byte> out;
+  out.reserve(values.size());
+  for (unsigned v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+void append_f64_le(std::vector<std::byte>& out, double v) {
+  wire::Writer w(out);
+  w.f64(v);
+}
+
+TEST(WireEndian, IntegersAreLittleEndianByConstruction) {
+  std::vector<std::byte> out;
+  wire::Writer w(out);
+  w.u16(0x1122);
+  w.u32(0x11223344);
+  w.u64(0x1122334455667788ULL);
+  // Least-significant byte first, independent of the host's byte order.
+  EXPECT_EQ(out, bytes_of({0x22, 0x11,                            // u16
+                           0x44, 0x33, 0x22, 0x11,                // u32
+                           0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22,
+                           0x11}));  // u64
+
+  wire::Reader r(out);
+  std::uint16_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+  ASSERT_TRUE(r.u16(a) && r.u32(b) && r.u64(c));
+  EXPECT_EQ(a, 0x1122);
+  EXPECT_EQ(b, 0x11223344u);
+  EXPECT_EQ(c, 0x1122334455667788ULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireEndian, DoublesTravelAsIeeeBitsAndRoundTripExactly) {
+  std::vector<std::byte> out;
+  wire::Writer w(out);
+  w.f64(1.0);  // IEEE-754: 0x3FF0000000000000
+  EXPECT_EQ(out, bytes_of({0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F}));
+
+  const double awkward = 0.1 + 0.2;  // not representable "nicely"
+  out.clear();
+  w.f64(awkward);
+  wire::Reader r(out);
+  double back = 0.0;
+  ASSERT_TRUE(r.f64(back));
+  EXPECT_EQ(back, awkward);  // bit-exact, not approximately equal
+}
+
+TEST(WireEndian, ReaderRefusesTruncatedInput) {
+  const auto three = bytes_of({0x01, 0x02, 0x03});
+  wire::Reader r(three);
+  std::uint32_t v = 0;
+  EXPECT_FALSE(r.u32(v));
+  std::uint64_t big = 0;
+  EXPECT_FALSE(wire::Reader(three).u64(big));
+  double d = 0.0;
+  EXPECT_FALSE(wire::Reader(three).f64(d));
+}
+
+// One LinkAdvert with hand-chosen QoS doubles whose IEEE bit patterns are
+// easy to spell: 1.0, 2.5, 0.0, 0.5, 3.0, 4.0.
+LinkAdvert golden_advert() {
+  LinkAdvert a;
+  a.neighbor = 0x0A0B0C0D;
+  a.status = LinkStatus::kMpr;
+  a.qos.bandwidth = 1.0;
+  a.qos.delay = 2.5;
+  a.qos.jitter = 0.0;
+  a.qos.loss_cost = 0.5;
+  a.qos.energy = 3.0;
+  a.qos.buffers = 4.0;
+  return a;
+}
+
+std::vector<std::byte> golden_advert_bytes() {
+  auto out = bytes_of({0x0D, 0x0C, 0x0B, 0x0A,  // neighbor, LE
+                       0x03});                  // status = kMpr
+  append_f64_le(out, 1.0);
+  append_f64_le(out, 2.5);
+  append_f64_le(out, 0.0);
+  append_f64_le(out, 0.5);
+  append_f64_le(out, 3.0);
+  append_f64_le(out, 4.0);
+  return out;
+}
+
+void append(std::vector<std::byte>& out, const std::vector<std::byte>& tail) {
+  out.insert(out.end(), tail.begin(), tail.end());
+}
+
+TEST(WireGolden, HelloByteDump) {
+  PacketHeader header;
+  header.type = MessageType::kHello;
+  header.originator = 0x01020304;
+  header.sequence = 0xBEEF;
+  header.ttl = 1;
+  header.hop_count = 0;
+  HelloMessage hello;
+  hello.originator = 0x01020304;
+  hello.willingness = 3;
+  hello.links.push_back(golden_advert());
+
+  auto expected = bytes_of({0x01,                    // type = kHello
+                            0x04, 0x03, 0x02, 0x01,  // originator, LE
+                            0xEF, 0xBE,              // sequence, LE
+                            0x01,                    // ttl
+                            0x00,                    // hop_count
+                            0x04, 0x03, 0x02, 0x01,  // hello.originator
+                            0x03,                    // willingness
+                            0x01, 0x00});            // link count, LE
+  append(expected, golden_advert_bytes());
+
+  const auto wire_bytes = serialize(header, hello);
+  EXPECT_EQ(wire_bytes, expected);
+
+  const auto parsed = parse_packet(wire_bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->hello.has_value());
+  EXPECT_EQ(parsed->header, header);
+  EXPECT_EQ(*parsed->hello, hello);
+  // Round-trip: reserializing the parse reproduces the golden bytes.
+  EXPECT_EQ(serialize(parsed->header, *parsed->hello), expected);
+}
+
+TEST(WireGolden, TcByteDump) {
+  PacketHeader header;
+  header.type = MessageType::kTc;
+  header.originator = 0x00000005;
+  header.sequence = 0x0102;
+  header.ttl = 64;
+  header.hop_count = 2;
+  TcMessage tc;
+  tc.originator = 0x00000005;
+  tc.ansn = 0x8001;  // exercises the high bit of the LE 16-bit field
+  tc.advertised.push_back(golden_advert());
+
+  auto expected = bytes_of({0x02,                    // type = kTc
+                            0x05, 0x00, 0x00, 0x00,  // originator, LE
+                            0x02, 0x01,              // sequence, LE
+                            0x40,                    // ttl
+                            0x02,                    // hop_count
+                            0x05, 0x00, 0x00, 0x00,  // tc.originator
+                            0x01, 0x80,              // ansn, LE
+                            0x01, 0x00});            // advert count, LE
+  append(expected, golden_advert_bytes());
+
+  const auto wire_bytes = serialize(header, tc);
+  EXPECT_EQ(wire_bytes, expected);
+  EXPECT_EQ(wire_bytes.size(), tc_wire_size(1));
+
+  const auto parsed = parse_packet(wire_bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->tc.has_value());
+  EXPECT_EQ(*parsed->tc, tc);
+  EXPECT_EQ(serialize(parsed->header, *parsed->tc), expected);
+}
+
+TEST(WireGolden, DataByteDump) {
+  PacketHeader header;
+  header.type = MessageType::kData;
+  header.originator = 7;
+  header.sequence = 0;
+  header.ttl = 64;
+  header.hop_count = 0;
+  DataMessage data;
+  data.source = 7;
+  data.destination = 9;
+  data.payload_id = 0xCAFE0001;
+
+  const auto expected = bytes_of({0x03,                    // type = kData
+                                  0x07, 0x00, 0x00, 0x00,  // originator
+                                  0x00, 0x00,              // sequence
+                                  0x40,                    // ttl
+                                  0x00,                    // hop_count
+                                  0x07, 0x00, 0x00, 0x00,  // source
+                                  0x09, 0x00, 0x00, 0x00,  // destination
+                                  0x01, 0x00, 0xFE, 0xCA});  // payload, LE
+
+  const auto wire_bytes = serialize(header, data);
+  EXPECT_EQ(wire_bytes, expected);
+
+  const auto parsed = parse_packet(wire_bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->data.has_value());
+  EXPECT_EQ(*parsed->data, data);
+  EXPECT_EQ(serialize(parsed->header, *parsed->data), expected);
+}
+
+}  // namespace
+}  // namespace qolsr

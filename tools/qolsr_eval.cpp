@@ -28,11 +28,16 @@ int usage(std::ostream& os, int exit_code) {
      << "\n"
      << "Runs one declarative experiment (a density sweep of ANS selection\n"
      << "heuristics under a QoS metric) and emits per-density aggregates.\n"
-     << "Every spec executes on either evaluation backend: the analytic\n"
-     << "oracle (default) or, with --backend=packet, a discrete-event\n"
+     << "Every spec executes on one of three evaluation backends: the\n"
+     << "analytic oracle (default); --backend=packet, a discrete-event\n"
      << "HELLO/TC control-plane simulation per run that also measures\n"
      << "message/byte overhead, duplicate suppression and convergence\n"
-     << "time from the converged protocol state.\n"
+     << "time from the converged protocol state; or --backend=wire, which\n"
+     << "stands every run up as REAL processes — one qolsr_node daemon\n"
+     << "per node plus the qolsr_switch software switch over Unix\n"
+     << "sockets — and verifies each daemon's converged digest against\n"
+     << "an in-process simulator twin byte-for-byte (keep fields small:\n"
+     << "e.g. --backend=wire --field=250x250 --densities=6 --runs=2).\n"
      << "--figure=N starts from the canned spec of the paper's Fig. N;\n"
      << "every later flag overrides it. --figure=M is the repository's\n"
      << "mobility figure: delivery ratio vs. node speed under random-\n"

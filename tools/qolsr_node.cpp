@@ -1,0 +1,23 @@
+// qolsr_node — one OLSR/QOLSR routing daemon: plugs into the software
+// switch at <socket-path> as node <id> and runs the protocol control plane
+// on real timers. Spawned in fleets by the wire harness (--backend=wire);
+// also runnable by hand against a long-lived qolsr_switch.
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/node_daemon.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <socket-path> <node-id>\n", argv[0]);
+    return 2;
+  }
+  char* end = nullptr;
+  const unsigned long id = std::strtoul(argv[2], &end, 10);
+  if (end == argv[2] || *end != '\0') {
+    std::fprintf(stderr, "%s: invalid node id '%s'\n", argv[0], argv[2]);
+    return 2;
+  }
+  return qolsr::net::run_node_daemon(argv[1],
+                                     static_cast<qolsr::NodeId>(id));
+}
